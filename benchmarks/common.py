@@ -1,0 +1,173 @@
+"""Shared infrastructure for the figure-reproduction benchmarks.
+
+Scale mapping (see DESIGN.md section 3).  The paper loads 1 GB batches
+for ~100 time steps with 100 KB disk blocks and sweeps 100-500 MB of
+main memory.  We keep every *ratio* and shrink the absolute volume:
+
+* accuracy/query figures: 30 steps x 40 000 elements, and a "paper MB"
+  memory label maps to the same memory-to-batch fraction (100 MB / 1 GB
+  = 0.1, so "100 MB" means a word budget of 0.1 x batch elements);
+* update-I/O figures: 100 steps x 10 000 blocks per batch — the exact
+  blocks-per-batch ratio of the paper, so the Figure 7/8 disk-access
+  counts reproduce at the paper's absolute magnitudes.
+
+Set ``REPRO_BENCH_SCALE`` (a float, default 1.0) to grow or shrink
+every batch size.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro import (
+    EngineConfig,
+    HybridQuantileEngine,
+    PureStreamingEngine,
+)
+from repro.core.memory import (
+    MemoryBudget,
+    epsilon_for_pure_gk_words,
+    epsilon_for_qdigest_words,
+)
+from repro.evaluation import ExperimentResult, ExperimentRunner, print_table
+from repro.workloads import (
+    NetworkTraceWorkload,
+    NormalWorkload,
+    UniformWorkload,
+    WikipediaWorkload,
+    Workload,
+)
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+#: paper memory label (MB) -> fraction of the batch held in memory
+PAPER_MEMORY_MB = (100, 200, 300, 400, 500)
+_BATCH_BYTES_PAPER = 1000.0  # 1 GB batch, in MB
+
+#: kappa sweep of Figures 5, 7 and 10
+PAPER_KAPPAS = (3, 5, 7, 9, 10, 15, 20, 30)
+
+QUERY_PHIS = (0.05, 0.25, 0.5, 0.75, 0.95, 0.99)
+
+
+@dataclass(frozen=True)
+class Scale:
+    """One benchmark scale: steps, batch size, block size."""
+
+    steps: int
+    batch: int
+    block_elems: int
+
+    @property
+    def blocks_per_batch(self) -> int:
+        return -(-self.batch // self.block_elems)
+
+
+def accuracy_scale() -> Scale:
+    """Scale used by the accuracy / query-cost figures."""
+    return Scale(steps=30, batch=int(40_000 * SCALE), block_elems=100)
+
+
+def io_scale() -> Scale:
+    """Scale used by the update-I/O figures (paper blocks-per-batch)."""
+    return Scale(steps=100, batch=int(10_000 * SCALE), block_elems=1)
+
+
+def memory_words(paper_mb: int, scale: Scale) -> int:
+    """Word budget matching the paper's memory-to-batch proportion."""
+    return max(64, int(paper_mb / _BATCH_BYTES_PAPER * scale.batch))
+
+
+def all_workloads() -> List[Workload]:
+    """The paper's four datasets, fixed seeds, Figure panel order."""
+    return [
+        UniformWorkload(seed=101),
+        NormalWorkload(seed=202),
+        WikipediaWorkload(seed=303),
+        NetworkTraceWorkload(seed=404),
+    ]
+
+
+def hybrid_engine(
+    words: int,
+    scale: Scale,
+    kappa: int = 10,
+    stream_fraction: float = 0.5,
+    block_cache: bool = True,
+    probe_budget: Optional[int] = None,
+) -> HybridQuantileEngine:
+    """Hybrid engine whose epsilons are derived from a word budget."""
+    budget = MemoryBudget(total_words=words, stream_fraction=stream_fraction)
+    eps1, eps2 = budget.epsilons(scale.batch, kappa, scale.steps)
+    config = EngineConfig(
+        epsilon=min(0.5, 4 * eps2),
+        eps1=eps1,
+        eps2=eps2,
+        kappa=kappa,
+        block_elems=scale.block_elems,
+        block_cache=block_cache,
+        probe_budget=probe_budget,
+    )
+    return HybridQuantileEngine(config=config)
+
+
+def gk_engine(words: int, scale: Scale, kappa: int = 10) -> PureStreamingEngine:
+    """Pure-streaming GK baseline sized for the same word budget."""
+    total = scale.batch * (scale.steps + 1)
+    epsilon = epsilon_for_pure_gk_words(words, total)
+    return PureStreamingEngine(
+        kind="gk", epsilon=epsilon, kappa=kappa,
+        block_elems=scale.block_elems,
+    )
+
+
+def qdigest_engine(
+    words: int, scale: Scale, universe_log2: int, kappa: int = 10
+) -> PureStreamingEngine:
+    """Pure-streaming Q-Digest baseline for the same word budget."""
+    epsilon = epsilon_for_qdigest_words(words, universe_log2)
+    return PureStreamingEngine(
+        kind="qdigest", epsilon=epsilon, kappa=kappa,
+        block_elems=scale.block_elems, universe_log2=universe_log2,
+    )
+
+
+def run_contenders(
+    workload: Workload,
+    scale: Scale,
+    words: int,
+    kappa: int = 10,
+    include_quick: bool = True,
+    phis: Sequence[float] = QUERY_PHIS,
+) -> ExperimentResult:
+    """The paper's standard four-way comparison on one configuration.
+
+    Contenders: our accurate response, our quick response (same engine
+    family, memory-only answers), pure-streaming GK, and pure-streaming
+    Q-Digest — all given the same word budget.
+    """
+    engines: Dict[str, object] = {
+        "ours": hybrid_engine(words, scale, kappa=kappa),
+        "gk": gk_engine(words, scale, kappa=kappa),
+        "qdigest": qdigest_engine(
+            words, scale, workload.universe_log2, kappa=kappa
+        ),
+    }
+    modes = {}
+    if include_quick:
+        engines["quick"] = hybrid_engine(words, scale, kappa=kappa)
+        modes["quick"] = "quick"
+    runner = ExperimentRunner(
+        workload=workload,
+        num_steps=scale.steps,
+        batch_elems=scale.batch,
+        keep_oracle=False,
+    )
+    return runner.run(engines, phis=phis, query_modes=modes)
+
+
+def show(title: str, headers: Sequence[str], rows) -> None:
+    """Print one figure's table (appears with pytest -s or on failure)."""
+    print_table(title, headers, rows)

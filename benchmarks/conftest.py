@@ -1,0 +1,18 @@
+"""Benchmark-suite configuration.
+
+Every bench runs its full experiment exactly once inside the
+``benchmark`` fixture (rounds=1), so ``pytest benchmarks/
+--benchmark-only`` both regenerates each figure's table and reports how
+long the simulation took.
+"""
+
+import sys
+from pathlib import Path
+
+# Make `import common` work no matter where pytest is invoked from.
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+
+def run_once(benchmark, fn):
+    """Execute ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

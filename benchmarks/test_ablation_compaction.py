@@ -1,0 +1,77 @@
+"""Ablation A5: tiered (paper) vs leveled compaction for HD.
+
+The paper's Section 4 asks how improved data structures shift the
+accuracy/memory/disk tradeoff.  Leveled (LevelDB-style) compaction
+keeps one partition per level: updates pay write amplification, but a
+fixed memory budget spreads over fewer summaries, so each summary is
+denser and queries touch fewer, better-bounded partitions.
+"""
+
+from common import accuracy_scale, memory_words, show
+from conftest import run_once
+from repro import EngineConfig, HybridQuantileEngine
+from repro.core.memory import MemoryBudget
+from repro.evaluation import ExperimentRunner
+from repro.workloads import UniformWorkload
+
+
+def engine_for(policy: str, scale, words: int) -> HybridQuantileEngine:
+    budget = MemoryBudget(total_words=words)
+    eps1, eps2 = budget.epsilons(scale.batch, 10, scale.steps)
+    config = EngineConfig(
+        epsilon=min(0.5, 4 * eps2),
+        eps1=eps1,
+        eps2=eps2,
+        kappa=10,
+        block_elems=scale.block_elems,
+        compaction=policy,
+    )
+    return HybridQuantileEngine(config=config)
+
+
+def sweep():
+    scale = accuracy_scale()
+    words = memory_words(250, scale)
+    rows = []
+    engines = {}
+    for policy in ("tiered", "leveled"):
+        engine = engine_for(policy, scale, words)
+        runner = ExperimentRunner(
+            workload=UniformWorkload(seed=44),
+            num_steps=scale.steps,
+            batch_elems=scale.batch,
+            keep_oracle=False,
+        )
+        result = runner.run(
+            {"ours": engine}, phis=(0.1, 0.25, 0.5, 0.75, 0.9)
+        )
+        run = result["ours"]
+        engines[policy] = engine
+        rows.append(
+            [
+                policy,
+                engine.store.partition_count(),
+                run.mean_update_io,
+                run.mean_query_disk_accesses,
+                run.median_relative_error,
+            ]
+        )
+    return rows
+
+
+def test_ablation_compaction(benchmark):
+    rows = run_once(benchmark, sweep)
+    show(
+        "Ablation A5: tiered vs leveled compaction "
+        "(Uniform, 250 paper-MB, kappa=10)",
+        ["policy", "partitions", "update io", "query disk", "rel error"],
+        rows,
+    )
+    tiered = {row[0]: row for row in rows}["tiered"]
+    leveled = {row[0]: row for row in rows}["leveled"]
+    # Leveled holds fewer partitions...
+    assert leveled[1] <= tiered[1]
+    # ...pays more update I/O (write amplification)...
+    assert leveled[2] >= tiered[2]
+    # ...and needs no more query I/O.
+    assert leveled[3] <= tiered[3] * 1.25

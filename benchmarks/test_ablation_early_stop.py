@@ -1,0 +1,62 @@
+"""Ablation A3: trading accuracy for disk accesses via early stopping.
+
+The paper's Section 4: "It may be possible (within limits) to reduce
+the number of disk accesses by reducing the accuracy while keeping the
+memory usage fixed, through stopping the search of the on-disk
+structure early."  This ablation caps the per-query random-block
+budget and maps out that frontier.
+"""
+
+import math
+
+from common import accuracy_scale, hybrid_engine, memory_words, show
+from conftest import run_once
+from repro.evaluation import ExperimentRunner
+from repro.workloads import UniformWorkload
+
+BUDGETS = (None, 60, 30, 15, 5)
+
+
+def sweep():
+    scale = accuracy_scale()
+    words = memory_words(250, scale)
+    rows = []
+    for budget in BUDGETS:
+        engine = hybrid_engine(words, scale, probe_budget=budget)
+        runner = ExperimentRunner(
+            workload=UniformWorkload(seed=66),
+            num_steps=scale.steps,
+            batch_elems=scale.batch,
+            keep_oracle=False,
+        )
+        result = runner.run(
+            {"ours": engine}, phis=(0.1, 0.25, 0.5, 0.75, 0.9)
+        )
+        run = result["ours"]
+        truncated = sum(q.result.truncated for q in run.queries)
+        rows.append(
+            [
+                budget if budget is not None else "none",
+                run.mean_query_disk_accesses,
+                run.median_relative_error,
+                truncated,
+            ]
+        )
+    return rows
+
+
+def test_ablation_early_stop(benchmark):
+    rows = run_once(benchmark, sweep)
+    show(
+        "Ablation A3: probe budget vs accuracy (Uniform, 250 paper-MB)",
+        ["probe budget", "query disk accesses", "rel error", "truncated"],
+        rows,
+    )
+    unlimited = rows[0]
+    tightest = rows[-1]
+    # Capping the budget reduces disk accesses...
+    assert tightest[1] <= unlimited[1]
+    # ...at the price of accuracy.
+    assert tightest[2] >= unlimited[2]
+    # No run produced a nonsensical error.
+    assert all(math.isfinite(row[2]) for row in rows)

@@ -1,0 +1,64 @@
+"""Figure 4: relative error vs main memory, four datasets.
+
+Paper result: at equal memory, the accurate response beats the pure
+streaming algorithms (GK, Q-Digest) by roughly two orders of magnitude,
+and the quick response lands in the same regime as Q-Digest.  Error
+falls as memory grows for every method.
+"""
+
+import numpy as np
+import pytest
+
+from common import (
+    PAPER_MEMORY_MB,
+    accuracy_scale,
+    all_workloads,
+    memory_words,
+    run_contenders,
+    show,
+)
+from conftest import run_once
+
+CONTENDERS = ("ours", "gk", "qdigest", "quick")
+
+
+def sweep(workload):
+    scale = accuracy_scale()
+    rows = []
+    for paper_mb in PAPER_MEMORY_MB:
+        words = memory_words(paper_mb, scale)
+        result = run_contenders(workload, scale, words)
+        rows.append(
+            [paper_mb, words]
+            + [result[name].median_relative_error for name in CONTENDERS]
+        )
+    return rows
+
+
+@pytest.mark.parametrize(
+    "panel", range(4), ids=["a_uniform", "b_normal", "c_wikipedia", "d_network"]
+)
+def test_fig4_accuracy_vs_memory(benchmark, panel):
+    workload = all_workloads()[panel]
+    rows = run_once(benchmark, lambda: sweep(workload))
+    show(
+        f"Figure 4{'abcd'[panel]}: relative error vs memory "
+        f"({workload.name})",
+        ["paper MB", "words"] + [f"err:{c}" for c in CONTENDERS],
+        rows,
+    )
+    ratios_gk = []
+    for row in rows:
+        ours, gk, qdigest, quick = row[2:]
+        # Headline claim: ours dominates pure streaming at every
+        # memory point (paper reports ~100x; the paper's N/m ratio is
+        # 101 versus our 31, and GK's empirical error is noisy at
+        # simulation scale, so we assert dominance per point plus a
+        # strong aggregate ratio).
+        assert ours <= gk + 1e-12, row
+        assert ours <= qdigest / 5 + 1e-12, row
+        ratios_gk.append(gk / max(ours, 1e-12))
+    geometric_mean = float(np.prod(ratios_gk)) ** (1 / len(ratios_gk))
+    assert geometric_mean >= 3, ratios_gk
+    # Error decreases as memory grows (compare the sweep's ends).
+    assert rows[-1][2] <= rows[0][2] * 1.5

@@ -1,0 +1,58 @@
+"""Figure 7: update time and disk accesses per step vs kappa.
+
+Paper result: update cost generally decreases as kappa grows (fewer,
+later merges), with an anomaly around kappa = 9-10 caused by a single
+expensive double merge landing inside the 100-step horizon; the
+number of disk accesses and the update time track each other.
+"""
+
+import pytest
+
+from common import PAPER_KAPPAS, all_workloads, hybrid_engine, io_scale, show
+from conftest import run_once
+from repro.evaluation import ExperimentRunner
+
+
+def sweep(workload):
+    scale = io_scale()
+    words = 4000
+    rows = []
+    for kappa in PAPER_KAPPAS:
+        engine = hybrid_engine(words, scale, kappa=kappa)
+        runner = ExperimentRunner(
+            workload=workload,
+            num_steps=scale.steps,
+            batch_elems=scale.batch,
+            stream_elems=1,
+            keep_oracle=False,
+        )
+        result = runner.run({"ours": engine}, phis=(0.5,))
+        run = result["ours"]
+        merge_io = sum(r.io_merge for r in run.step_reports) / scale.steps
+        seconds = run.ingest_seconds / scale.steps + sum(
+            r.sim_seconds for r in run.step_reports
+        ) / scale.steps
+        rows.append([kappa, run.mean_update_io, merge_io, seconds])
+    return rows
+
+
+@pytest.mark.parametrize(
+    "panel", range(4), ids=["a_uniform", "b_normal", "c_wikipedia", "d_network"]
+)
+def test_fig7_update_vs_kappa(benchmark, panel):
+    workload = all_workloads()[panel]
+    rows = run_once(benchmark, lambda: sweep(workload))
+    show(
+        f"Figure 7{'abcd'[panel]}: update cost vs kappa ({workload.name}; "
+        f"per-step averages over {io_scale().steps} steps)",
+        ["kappa", "avg disk accesses", "avg merge accesses", "update s"],
+        rows,
+    )
+    by_kappa = {row[0]: row[1] for row in rows}
+    # The paper's kappa = 9 anomaly: a double merge makes 9 dearer
+    # than 10 over a 100-step horizon.
+    assert by_kappa[9] > by_kappa[10]
+    # Large kappa merges rarely: cheapest updates at the top end.
+    assert by_kappa[30] <= by_kappa[3]
+    # Every step pays at least the batch write.
+    assert min(row[1] for row in rows) >= io_scale().blocks_per_batch

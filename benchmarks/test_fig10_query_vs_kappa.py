@@ -1,0 +1,66 @@
+"""Figure 10: query runtime and disk accesses vs kappa, memory fixed.
+
+Paper result: query-time disk accesses (and hence runtime) increase
+with kappa — more partitions per level share a fixed memory budget, so
+each per-partition summary is sparser and the on-disk binary searches
+span more blocks.
+"""
+
+import pytest
+
+from common import (
+    accuracy_scale,
+    all_workloads,
+    hybrid_engine,
+    memory_words,
+    show,
+)
+from conftest import run_once
+from repro.evaluation import ExperimentRunner
+
+KAPPAS = (3, 5, 10, 20, 30)
+FIXED_PAPER_MB = 250
+
+
+def sweep(workload):
+    scale = accuracy_scale()
+    words = memory_words(FIXED_PAPER_MB, scale)
+    rows = []
+    for kappa in KAPPAS:
+        engine = hybrid_engine(words, scale, kappa=kappa)
+        runner = ExperimentRunner(
+            workload=workload,
+            num_steps=scale.steps,
+            batch_elems=scale.batch,
+            keep_oracle=False,
+        )
+        result = runner.run({"ours": engine}, phis=(0.25, 0.5, 0.75, 0.95))
+        run = result["ours"]
+        partitions = engine.store.partition_count()
+        rows.append(
+            [
+                kappa,
+                partitions,
+                run.mean_query_disk_accesses,
+                run.mean_query_seconds,
+            ]
+        )
+    return rows
+
+
+@pytest.mark.parametrize(
+    "panel", range(4), ids=["a_uniform", "b_normal", "c_wikipedia", "d_network"]
+)
+def test_fig10_query_vs_kappa(benchmark, panel):
+    workload = all_workloads()[panel]
+    rows = run_once(benchmark, lambda: sweep(workload))
+    show(
+        f"Figure 10{'abcd'[panel]}: query cost vs kappa ({workload.name}, "
+        f"memory fixed at {FIXED_PAPER_MB} paper-MB)",
+        ["kappa", "partitions", "disk accesses", "query s"],
+        rows,
+    )
+    accesses = {row[0]: row[2] for row in rows}
+    # Larger kappa keeps more partitions around: queries pay more I/O.
+    assert accesses[30] >= accesses[3]
+    assert all(row[2] > 0 for row in rows)

@@ -1,0 +1,58 @@
+"""Figure 12: scalability in the historical data size.
+
+Paper result (Normal, stream fixed at one batch, memory fixed,
+kappa = 10): as historical data grows from 10 to 100 batches,
+(a) relative error *decreases* (absolute error is stream-bounded while
+the denominator phi*N grows), (b) per-step update cost grows, and
+(c) query disk accesses grow (more partitions and bigger searches).
+"""
+
+from common import accuracy_scale, hybrid_engine, memory_words, show
+from conftest import run_once
+from repro.evaluation import ExperimentRunner
+from repro.workloads import NormalWorkload
+
+STEP_COUNTS = (5, 10, 20, 30)
+
+
+def sweep():
+    base = accuracy_scale()
+    rows = []
+    for steps in STEP_COUNTS:
+        scale = type(base)(steps=steps, batch=base.batch,
+                           block_elems=base.block_elems)
+        words = memory_words(250, scale)
+        engine = hybrid_engine(words, scale)
+        runner = ExperimentRunner(
+            workload=NormalWorkload(seed=5),
+            num_steps=steps,
+            batch_elems=scale.batch,
+            keep_oracle=False,
+        )
+        result = runner.run({"ours": engine}, phis=(0.25, 0.5, 0.75))
+        run = result["ours"]
+        rows.append(
+            [
+                steps,
+                engine.n_historical,
+                run.median_relative_error,
+                run.mean_update_io,
+                run.mean_query_disk_accesses,
+            ]
+        )
+    return rows
+
+
+def test_fig12_scale_historical(benchmark):
+    rows = run_once(benchmark, sweep)
+    show(
+        "Figure 12: accuracy and cost vs historical size "
+        "(Normal, stream fixed at one batch)",
+        ["steps", "n historical", "rel error", "update io", "query disk"],
+        rows,
+    )
+    # (a) relative error shrinks as history grows (>= 2x over a 6x
+    # range of history; the paper shows ~1/n).
+    assert rows[-1][2] <= rows[0][2] / 2
+    # (c) query disk accesses do not shrink with more history.
+    assert rows[-1][4] >= rows[0][4] * 0.8

@@ -1,0 +1,77 @@
+"""repro: quantiles over the union of historical and streaming data.
+
+A faithful, laptop-scale reproduction of Singh, Srivastava &
+Tirthapura, "Estimating Quantiles from the Union of Historical and
+Streaming Data" (PVLDB 10(4), 2016).
+
+Quickstart::
+
+    from repro import HybridQuantileEngine
+
+    engine = HybridQuantileEngine(epsilon=1e-3, kappa=10)
+    engine.stream_update_batch(todays_values)   # live stream
+    median = engine.quantile(0.5)               # query any time
+    engine.end_time_step()                      # archive the batch
+
+See README.md for the architecture overview, DESIGN.md for the system
+inventory, and EXPERIMENTS.md for the paper-versus-measured record.
+"""
+
+from .baselines import PureStreamingEngine, StrawmanEngine
+from .frequent import HeavyHittersEngine, MisraGriesSketch
+from .core import (
+    EngineConfig,
+    EngineSnapshot,
+    HybridQuantileEngine,
+    MemoryBudget,
+    MemoryReport,
+    QuantileWatcher,
+    QueryResult,
+    StepReport,
+    WindowNotAlignedError,
+    epsilon_for_budget,
+)
+from .sketches import (
+    ExactQuantiles,
+    GKSketch,
+    MRL99Sketch,
+    QDigestSketch,
+    RandomSamplerSketch,
+)
+from .storage import SimulatedDisk
+from .workloads import (
+    NetworkTraceWorkload,
+    NormalWorkload,
+    UniformWorkload,
+    WikipediaWorkload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PureStreamingEngine",
+    "StrawmanEngine",
+    "HeavyHittersEngine",
+    "MisraGriesSketch",
+    "EngineConfig",
+    "EngineSnapshot",
+    "QuantileWatcher",
+    "HybridQuantileEngine",
+    "MemoryBudget",
+    "MemoryReport",
+    "QueryResult",
+    "StepReport",
+    "WindowNotAlignedError",
+    "epsilon_for_budget",
+    "ExactQuantiles",
+    "GKSketch",
+    "MRL99Sketch",
+    "QDigestSketch",
+    "RandomSamplerSketch",
+    "SimulatedDisk",
+    "NetworkTraceWorkload",
+    "NormalWorkload",
+    "UniformWorkload",
+    "WikipediaWorkload",
+    "__version__",
+]

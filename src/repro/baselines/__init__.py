@@ -1,0 +1,6 @@
+"""Baselines the paper compares against: pure streaming and strawman."""
+
+from .pure_streaming import PureStreamingEngine, make_sketch
+from .strawman import StrawmanEngine
+
+__all__ = ["PureStreamingEngine", "StrawmanEngine", "make_sketch"]

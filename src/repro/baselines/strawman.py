@@ -1,0 +1,188 @@
+"""The strawman baseline (Section 2).
+
+Keep H fully sorted on disk at all times and run a streaming sketch on
+R.  Accuracy matches the hybrid engine (error proportional to the
+stream only), but every time step pays a full read-plus-write pass over
+*all* historical data to merge in the new batch — the disk-I/O cost the
+hybrid engine's leveled merging amortizes away.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from ..core.bounds import CombinedSummary
+from ..core.config import EngineConfig
+from ..core.engine import QueryResult, StepReport
+from ..core.filters import AccurateSearch
+from ..core.summaries import PartitionSummary, StreamSummary
+from ..sketches.base import rank_for_phi
+from ..sketches.gk import GKSketch
+from ..storage.disk import SimulatedDisk
+from ..storage.runfile import SortedRun
+from ..warehouse.partition import Partition
+
+
+class StrawmanEngine:
+    """Fully sorted historical data plus a GK stream sketch.
+
+    Implements the same driver protocol as the hybrid engine, so the
+    experiment runner can compare all three approaches directly.
+    """
+
+    def __init__(
+        self,
+        epsilon: float,
+        block_elems: int = 1024,
+        disk: Optional[SimulatedDisk] = None,
+    ) -> None:
+        self.config = EngineConfig(epsilon=epsilon, block_elems=block_elems)
+        self.disk = disk if disk is not None else SimulatedDisk(
+            block_elems=block_elems
+        )
+        self._gk = GKSketch(self.config.epsilon2 / 2.0)
+        self._stream_chunks: List[np.ndarray] = []
+        self._m = 0
+        self._step = 0
+        self._partition: Optional[Partition] = None
+
+    def stream_update(self, value: int) -> None:
+        """Process one live stream element."""
+        self._gk.update(value)
+        self._stream_chunks.append(np.asarray([value], dtype=np.int64))
+        self._m += 1
+
+    def stream_update_batch(self, values: Iterable[int]) -> None:
+        """Process many live stream elements at once."""
+        arr = np.asarray(
+            values if isinstance(values, np.ndarray) else list(values),
+            dtype=np.int64,
+        )
+        if arr.size == 0:
+            return
+        self._gk.update_batch(arr)
+        self._stream_chunks.append(arr.copy())
+        self._m += int(arr.size)
+
+    def end_time_step(self) -> StepReport:
+        """Merge the batch into the single sorted historical run."""
+        self._step += 1
+        batch = (
+            np.concatenate(self._stream_chunks)
+            if self._stream_chunks
+            else np.empty(0, dtype=np.int64)
+        )
+        before = self.disk.stats.counters.snapshot()
+        before_merge = self.disk.stats.merge.snapshot()
+        started = time.perf_counter()
+        sorted_batch = np.sort(batch)
+        if self._partition is None:
+            self.disk.stats.set_phase("load")
+            run = SortedRun(self.disk, sorted_batch)
+        else:
+            # Read all of history, merge the in-memory batch in, and
+            # write the combined run back: the full pass the hybrid
+            # engine's leveled merging amortizes away.
+            self.disk.stats.set_phase("merge")
+            self.disk.charge_sequential_read(len(self._partition.run))
+            merged = np.sort(
+                np.concatenate([self._partition.run.values, sorted_batch])
+            )
+            run = SortedRun(self.disk, merged, charge_write=True)
+            self.disk.stats.set_phase("load")
+        partition = Partition(
+            level=0, start_step=1, end_step=self._step, run=run
+        )
+        partition.summary = PartitionSummary.build(
+            partition, self.config.epsilon1
+        )
+        self._partition = partition
+        wall = time.perf_counter() - started
+        self._stream_chunks = []
+        self._m = 0
+        self._gk = GKSketch(self.config.epsilon2 / 2.0)
+        io_delta = self.disk.stats.counters.delta_since(before)
+        merge_delta = self.disk.stats.merge.delta_since(before_merge)
+        return StepReport(
+            step=self._step,
+            batch_elems=int(batch.size),
+            io_total=io_delta.total,
+            io_load=io_delta.total - merge_delta.total,
+            io_sort=0,
+            io_merge=merge_delta.total,
+            cpu_seconds={"load": wall, "sort": 0.0, "merge": 0.0,
+                         "summary": 0.0},
+            sim_seconds=self.disk.latency.seconds(io_delta),
+            merged_levels=merge_delta.total > 0,
+        )
+
+    @property
+    def n_historical(self) -> int:
+        """Number of archived historical elements n."""
+        return len(self._partition) if self._partition else 0
+
+    @property
+    def m_stream(self) -> int:
+        """Number of live (unarchived) stream elements m."""
+        return self._m
+
+    @property
+    def n_total(self) -> int:
+        """Total number of elements N = n + m."""
+        return self.n_historical + self._m
+
+    def query_rank(self, rank: int, mode: str = "accurate") -> QueryResult:
+        """Return a value whose true rank approximates ``rank``."""
+        started = time.perf_counter()
+        io_before = self.disk.stats.counters.snapshot()
+        self.disk.stats.set_phase("query")
+        ss = StreamSummary.extract(self._gk, self.config.epsilon2)
+        partitions = [self._partition] if self._partition else []
+        summaries = [p.summary for p in partitions]
+        combined = CombinedSummary.build(summaries, ss)
+        total = combined.total_size
+        rank = max(1, min(int(rank), total))
+        def stream_rank(value: int) -> float:
+            """Rank of ``value`` in R from the live sketch bracket."""
+            if self._gk.n == 0:
+                return 0.0
+            lo, hi = self._gk.rank_bounds(int(value))
+            return (lo + hi) / 2.0
+
+        search = AccurateSearch(
+            partitions=partitions,
+            stream_summary=ss,
+            combined=combined,
+            config=self.config,
+            rank=rank,
+            stream_rank_fn=stream_rank,
+        )
+        outcome = search.run()
+        self.disk.stats.set_phase("load")
+        io_delta = self.disk.stats.counters.delta_since(io_before)
+        return QueryResult(
+            value=outcome.value,
+            target_rank=rank,
+            total_size=total,
+            mode="strawman",
+            estimated_rank=outcome.estimated_rank,
+            disk_accesses=outcome.random_blocks,
+            iterations=outcome.iterations,
+            truncated=outcome.truncated,
+            wall_seconds=time.perf_counter() - started,
+            sim_seconds=self.disk.latency.seconds(io_delta),
+        )
+
+    def quantile(self, phi: float, mode: str = "accurate") -> QueryResult:
+        """Return an approximate ``phi``-quantile (Definition 1)."""
+        return self.query_rank(rank_for_phi(phi, self.n_total))
+
+    def memory_words(self) -> int:
+        """Current memory footprint in 8-byte words."""
+        words = self._gk.memory_words() + self.config.beta2 + 2
+        if self._partition is not None and self._partition.summary:
+            words += self._partition.summary.memory_words()
+        return words

@@ -1,0 +1,200 @@
+"""Command-line interface: a tiny data-stream warehouse shell.
+
+Operates a persistent engine checkpoint directory::
+
+    python -m repro init  /tmp/wh --epsilon 0.001 --kappa 10
+    python -m repro ingest /tmp/wh data.npy            # stream a batch
+    python -m repro ingest /tmp/wh data.npy --archive  # ...and end the step
+    python -m repro query  /tmp/wh --phi 0.5 0.95 0.99
+    python -m repro query  /tmp/wh --phi 0.5 --window 7
+    python -m repro status /tmp/wh
+    python -m repro demo --steps 20                    # self-contained tour
+
+``ingest`` accepts ``.npy`` files, whitespace/newline-separated text
+files, or ``-`` for numbers on stdin.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+from .core.config import EngineConfig
+from .core.engine import HybridQuantileEngine
+from .persistence import PersistenceError, load_engine, save_engine
+from .workloads import NormalWorkload
+
+
+def _read_values(source: str) -> np.ndarray:
+    """Load int64 values from .npy, a text file, or '-' (stdin)."""
+    if source == "-":
+        text = sys.stdin.read()
+        return np.asarray(
+            [int(token) for token in text.split()], dtype=np.int64
+        )
+    path = Path(source)
+    if not path.exists():
+        raise FileNotFoundError(source)
+    if path.suffix == ".npy":
+        return np.load(path).astype(np.int64)
+    return np.asarray(
+        [int(token) for token in path.read_text().split()], dtype=np.int64
+    )
+
+
+def _cmd_init(args: argparse.Namespace) -> int:
+    directory = Path(args.warehouse)
+    if (directory / "engine.json").exists() and not args.force:
+        print(f"error: {directory} already holds an engine "
+              "(use --force to overwrite)", file=sys.stderr)
+        return 1
+    config = EngineConfig(
+        epsilon=args.epsilon,
+        kappa=args.kappa,
+        block_elems=args.block_elems,
+    )
+    engine = HybridQuantileEngine(config=config)
+    save_engine(engine, directory)
+    print(f"initialized warehouse at {directory} "
+          f"(epsilon={args.epsilon}, kappa={args.kappa})")
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    engine = load_engine(args.warehouse)
+    values = _read_values(args.source)
+    engine.stream_update_batch(values)
+    message = f"streamed {len(values):,} elements"
+    if args.archive:
+        report = engine.end_time_step()
+        message += (
+            f"; archived step {report.step} "
+            f"({report.io_total:,} disk accesses"
+            + (", merged partitions" if report.merged_levels else "")
+            + ")"
+        )
+    save_engine(engine, args.warehouse)
+    print(message)
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    engine = load_engine(args.warehouse)
+    if engine.n_total == 0:
+        print("error: warehouse is empty", file=sys.stderr)
+        return 1
+    print(f"{'phi':>6} {'value':>16} {'rank target':>12} {'disk I/O':>9}")
+    for phi in args.phi:
+        result = engine.quantile(
+            phi, mode=args.mode, window_steps=args.window
+        )
+        print(f"{phi:>6} {result.value:>16,} {result.target_rank:>12,} "
+              f"{result.disk_accesses:>9}")
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    engine = load_engine(args.warehouse)
+    memory = engine.memory_report()
+    print(f"warehouse        : {args.warehouse}")
+    print(f"epsilon / kappa  : {engine.config.epsilon} / "
+          f"{engine.config.kappa}")
+    print(f"historical elems : {engine.n_historical:,} "
+          f"({engine.steps_loaded} steps)")
+    print(f"live stream elems: {engine.m_stream:,}")
+    print(f"memory words     : {memory.total_words:,} "
+          f"({memory.total_megabytes:.3f} MB)")
+    print(f"window sizes     : {engine.available_window_sizes()}")
+    layout = [
+        f"L{p.level}[{p.start_step}-{p.end_step}]x{len(p):,}"
+        for p in engine.store.partitions()
+    ]
+    print(f"partitions       : {' '.join(layout) if layout else '(none)'}")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    engine = HybridQuantileEngine(
+        epsilon=args.epsilon, kappa=args.kappa, block_elems=100
+    )
+    workload = NormalWorkload(seed=7)
+    print(f"demo: {args.steps} steps x {args.batch:,} elements (Normal)")
+    for _ in range(args.steps):
+        engine.stream_update_batch(workload.generate(args.batch))
+        engine.end_time_step()
+    engine.stream_update_batch(workload.generate(args.batch))
+    for phi in (0.25, 0.5, 0.75, 0.95, 0.99):
+        result = engine.quantile(phi)
+        print(f"  phi={phi:<5} -> {result.value:>12,} "
+              f"({result.disk_accesses} disk accesses)")
+    memory = engine.memory_report()
+    print(f"memory: {memory.total_words:,} words over "
+          f"{engine.n_total:,} elements")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Quantiles over the union of historical and "
+                    "streaming data (VLDB 2016 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    init = commands.add_parser("init", help="create a warehouse directory")
+    init.add_argument("warehouse")
+    init.add_argument("--epsilon", type=float, default=1e-3)
+    init.add_argument("--kappa", type=int, default=10)
+    init.add_argument("--block-elems", type=int, default=1024)
+    init.add_argument("--force", action="store_true")
+    init.set_defaults(handler=_cmd_init)
+
+    ingest = commands.add_parser("ingest", help="stream a batch of values")
+    ingest.add_argument("warehouse")
+    ingest.add_argument("source", help=".npy / text file / '-' for stdin")
+    ingest.add_argument(
+        "--archive", action="store_true",
+        help="end the time step after streaming",
+    )
+    ingest.set_defaults(handler=_cmd_ingest)
+
+    query = commands.add_parser("query", help="ask for quantiles")
+    query.add_argument("warehouse")
+    query.add_argument("--phi", type=float, nargs="+", default=[0.5])
+    query.add_argument(
+        "--mode", choices=("accurate", "quick"), default="accurate"
+    )
+    query.add_argument("--window", type=int, default=None)
+    query.set_defaults(handler=_cmd_query)
+
+    status = commands.add_parser("status", help="show warehouse state")
+    status.add_argument("warehouse")
+    status.set_defaults(handler=_cmd_status)
+
+    demo = commands.add_parser("demo", help="self-contained demonstration")
+    demo.add_argument("--steps", type=int, default=10)
+    demo.add_argument("--batch", type=int, default=20_000)
+    demo.add_argument("--epsilon", type=float, default=0.01)
+    demo.add_argument("--kappa", type=int, default=10)
+    demo.set_defaults(handler=_cmd_demo)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return args.handler(args)
+    except (PersistenceError, FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

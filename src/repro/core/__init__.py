@@ -1,0 +1,41 @@
+"""The paper's core contribution: the hybrid quantile engine."""
+
+from .bounds import CombinedSummary
+from .config import EngineConfig
+from .engine import HybridQuantileEngine, MemoryReport, QueryResult, StepReport
+from .monitoring import MonitorRule, QuantileAlert, QuantileWatcher
+from .snapshot import EngineSnapshot, snapshot
+from .memory import (
+    WORDS_PER_MB,
+    MemoryBudget,
+    epsilon_for_budget,
+    gk_tuple_estimate,
+    historical_summary_words,
+    stream_summary_words,
+)
+from .summaries import PartitionSummary, StreamSummary
+from .windows import WindowNotAlignedError, resolve_window
+
+__all__ = [
+    "CombinedSummary",
+    "EngineConfig",
+    "HybridQuantileEngine",
+    "MemoryReport",
+    "QueryResult",
+    "StepReport",
+    "MonitorRule",
+    "QuantileAlert",
+    "QuantileWatcher",
+    "EngineSnapshot",
+    "snapshot",
+    "WORDS_PER_MB",
+    "MemoryBudget",
+    "epsilon_for_budget",
+    "gk_tuple_estimate",
+    "historical_summary_words",
+    "stream_summary_words",
+    "PartitionSummary",
+    "StreamSummary",
+    "WindowNotAlignedError",
+    "resolve_window",
+]

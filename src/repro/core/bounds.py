@@ -1,0 +1,162 @@
+"""TS: the combined summary of historical plus streaming data.
+
+Section 2.3.1: sort the union of all partition summaries and the stream
+summary into TS, and for every element compute a lower bound ``L_i``
+and upper bound ``U_i`` on its rank in the full dataset T (Lemma 2):
+
+    L_i = eps2*m*b*(alpha_S - 1) + sum_{P: alpha_P > 0} m_P*eps1*(alpha_P - 1)
+    U_i = eps2*m*b* alpha_S'    + sum_{P: alpha_P > 0} m_P*eps1* alpha_P
+
+where ``alpha_S`` / ``alpha_P`` count summary elements at most TS[i],
+``b`` is 1 iff ``alpha_S > 0``, and ``alpha_S'`` is ``alpha_S`` for
+elements drawn from the stream summary itself (their own Lemma 1 bound
+applies) and ``alpha_S + 1`` otherwise.  These formulas reproduce the
+worked example of the paper's Figure 3 exactly (see the golden test).
+
+TS powers both the quick response (Algorithm 5) and filter generation
+(Algorithm 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .summaries import PartitionSummary, StreamSummary
+
+
+@dataclass(frozen=True)
+class CombinedSummary:
+    """TS with per-element rank bounds.
+
+    Attributes
+    ----------
+    values:
+        All summary elements, sorted ascending (duplicates kept).
+    from_stream:
+        Boolean mask: whether each element came from SS.
+    lower, upper:
+        The bounds ``L_i`` / ``U_i`` exactly as the paper computes them.
+    total_size:
+        ``N = n + m`` over the data the summary covers (the full
+        dataset, or the window for windowed queries).
+    """
+
+    values: np.ndarray
+    from_stream: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+    total_size: int
+
+    @classmethod
+    def build(
+        cls,
+        partition_summaries: Sequence[PartitionSummary],
+        stream_summary: StreamSummary,
+    ) -> "CombinedSummary":
+        """Merge HS and SS into TS and compute all bounds."""
+        histories = [s for s in partition_summaries if len(s) > 0]
+        parts = [s.values for s in histories]
+        flags = [np.zeros(len(s), dtype=bool) for s in histories]
+        if not stream_summary.is_empty:
+            parts.append(stream_summary.values)
+            flags.append(np.ones(len(stream_summary), dtype=bool))
+        if not parts:
+            raise ValueError("cannot summarize an empty dataset")
+        values = np.concatenate(parts)
+        stream_mask = np.concatenate(flags)
+        # Sort by value; on ties, stream entries first.  (A stream
+        # entry's upper bound uses coefficient alpha_S while an equal
+        # historical value uses alpha_S + 1, so this tie order keeps
+        # the ``upper`` array monotone for the binary searches below.)
+        order = np.lexsort((np.where(stream_mask, 0, 1), values))
+        values = values[order]
+        stream_mask = stream_mask[order]
+
+        lower = np.zeros(len(values), dtype=np.float64)
+        upper = np.zeros(len(values), dtype=np.float64)
+        for summary in histories:
+            alphas = np.searchsorted(summary.values, values, side="right")
+            scale = summary.eps1 * summary.partition_size
+            present = alphas > 0
+            lower += np.where(
+                present,
+                np.minimum((alphas - 1) * scale, summary.partition_size),
+                0.0,
+            )
+            # Paper formula alpha * eps1 * m_P, floored by the stored
+            # exact rank of the next summary entry so the bound stays
+            # valid when a tiny partition deduplicated its positions.
+            count = len(summary.positions)
+            idx = np.minimum(alphas, count - 1)
+            exact_next = np.where(
+                alphas < count,
+                summary.positions[idx] - 1,
+                summary.partition_size,
+            )
+            upper += np.where(
+                present, np.maximum(alphas * scale, exact_next), 0.0
+            )
+        m = stream_summary.stream_size
+        if m > 0:
+            alphas = np.searchsorted(stream_summary.values, values, side="right")
+            scale = stream_summary.eps2 * m
+            present = alphas > 0
+            lower += np.where(
+                present, np.minimum((alphas - 1) * scale, m), 0.0
+            )
+            if stream_summary.strict_uppers is not None:
+                # Provable bracket from the GK extraction: everything
+                # at most TS[i] precedes the next strictly greater
+                # summary entry.
+                count = len(stream_summary.values)
+                idx = np.minimum(alphas, count - 1)
+                bound = np.where(
+                    alphas < count,
+                    stream_summary.strict_uppers[idx].astype(np.float64),
+                    float(m),
+                )
+                upper += np.where(present, bound, 0.0)
+            else:
+                upper_coeff = np.where(stream_mask, alphas, alphas + 1)
+                upper += np.where(present, upper_coeff * scale, 0.0)
+
+        total = sum(s.partition_size for s in histories) + m
+        return cls(
+            values=values,
+            from_stream=stream_mask,
+            lower=lower,
+            upper=upper,
+            total_size=total,
+        )
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def quick_response(self, rank: int) -> int:
+        """Algorithm 5: the element at the smallest index with L_j >= r."""
+        j = int(np.searchsorted(self.lower, rank, side="left"))
+        if j >= len(self.values):
+            j = len(self.values) - 1
+        return int(self.values[j])
+
+    def generate_filters(self, rank: int) -> "tuple[int, int]":
+        """Algorithm 7: values (u, v) bracketing the element of rank r.
+
+        Guarantees ``rank(u, T) <= r <= rank(v, T)``.  When no summary
+        element's upper bound is below ``r``, the lower filter falls
+        back to one less than the global minimum (rank 0); when no
+        lower bound reaches ``r``, the upper filter is the global
+        maximum (rank N).
+        """
+        x = int(np.searchsorted(self.upper, rank, side="right")) - 1
+        u = int(self.values[x]) if x >= 0 else int(self.values[0]) - 1
+        y = int(np.searchsorted(self.lower, rank, side="left"))
+        v = int(self.values[y]) if y < len(self.values) else int(self.values[-1])
+        if v < u:
+            # Possible only through bound ties at equal values; the
+            # bracket [min, max] of the pair is always safe.
+            u, v = v, u
+        return u, v

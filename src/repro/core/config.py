@@ -1,0 +1,132 @@
+"""Engine configuration.
+
+Algorithm 1 of the paper fixes the error split ``eps_1 = eps / 2`` for
+the historical summaries and ``eps_2 = eps / 4`` for the stream sketch,
+with summary lengths ``beta_1 = ceil(1/eps_1) + 1`` and
+``beta_2 = ceil(1/eps_2) + 1``.  :class:`EngineConfig` carries those
+parameters plus the simulation knobs (block size, merge threshold,
+query optimizations).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """All tunables of the hybrid engine.
+
+    Parameters
+    ----------
+    epsilon:
+        Overall error parameter: accurate queries are answered within
+        ``O(epsilon * m)`` rank error, where m is the stream size.
+    kappa:
+        Merge threshold of the historical store (max partitions per
+        level).
+    block_elems:
+        Elements per disk block of the simulated device.
+    eps1, eps2:
+        Optional overrides of the historical/stream error split
+        (used by the memory-split ablation).  Defaults follow
+        Algorithm 1.
+    block_cache:
+        Enable the Section 2.4 per-query block cache optimization.
+    probe_budget:
+        Optional cap on random block reads per query: the search stops
+        early once the cap is reached and returns its current best
+        answer (the accuracy/disk-access tradeoff discussed in the
+        paper's Section 4).
+    universe_log2:
+        Hint for value-domain width; bounds the value-bisection depth.
+    compaction:
+        Historical merge policy: ``"tiered"`` (the paper's — up to
+        kappa partitions per level) or ``"leveled"`` (LevelDB-style —
+        one partition per level, the Section 4 "improved data
+        structures" ablation).
+    query_strategy:
+        Accurate-response endgame: ``"bisect"`` refines the value
+        bisection to the rank-crossing point (default; see
+        docs/THEORY.md), while ``"fetch"`` follows Lemma 5 literally —
+        narrow the filters until few elements remain between them,
+        then read that residual range from every partition and select
+        exactly.
+    residual_fetch_elems:
+        Residual-range size that stops the ``"fetch"`` strategy's
+        narrowing (default ``max(ceil(1/eps), block_elems)``, the
+        paper's ``1/eps``).
+    """
+
+    epsilon: float
+    kappa: int = 10
+    block_elems: int = 1024
+    eps1: Optional[float] = None
+    eps2: Optional[float] = None
+    block_cache: bool = True
+    probe_budget: Optional[int] = None
+    universe_log2: int = 34
+    compaction: str = "tiered"
+    query_strategy: str = "bisect"
+    residual_fetch_elems: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0 < self.epsilon < 1:
+            raise ValueError("epsilon must be in (0, 1)")
+        if self.kappa < 2:
+            raise ValueError("kappa must be >= 2")
+        if self.block_elems < 1:
+            raise ValueError("block_elems must be >= 1")
+        for name in ("eps1", "eps2"):
+            value = getattr(self, name)
+            if value is not None and not 0 < value < 1:
+                raise ValueError(f"{name} must be in (0, 1)")
+        if self.compaction not in ("tiered", "leveled"):
+            raise ValueError("compaction must be 'tiered' or 'leveled'")
+        if self.query_strategy not in ("bisect", "fetch"):
+            raise ValueError("query_strategy must be 'bisect' or 'fetch'")
+        if (self.residual_fetch_elems is not None
+                and self.residual_fetch_elems < 1):
+            raise ValueError("residual_fetch_elems must be >= 1")
+
+    @property
+    def epsilon1(self) -> float:
+        """Historical-summary error parameter (Algorithm 1: eps / 2)."""
+        return self.eps1 if self.eps1 is not None else self.epsilon / 2.0
+
+    @property
+    def epsilon2(self) -> float:
+        """Stream-sketch error parameter (Algorithm 1: eps / 4)."""
+        return self.eps2 if self.eps2 is not None else self.epsilon / 4.0
+
+    @property
+    def beta1(self) -> int:
+        """Length of each historical partition summary."""
+        return math.ceil(1.0 / self.epsilon1) + 1
+
+    @property
+    def beta2(self) -> int:
+        """Length of the stream summary."""
+        return math.ceil(1.0 / self.epsilon2) + 1
+
+    @property
+    def query_epsilon(self) -> float:
+        """Acceptance slack of the accurate query, as a fraction of m.
+
+        Algorithm 8 stops when the estimated rank of the probe is
+        within ``epsilon * m`` of the target.  When the eps1/eps2 split
+        is overridden, the slack follows the stream-side error
+        (``4 * eps2``), which is what drives the final answer quality.
+        """
+        if self.eps2 is not None:
+            return 4.0 * self.eps2
+        return self.epsilon
+
+    @property
+    def residual_threshold(self) -> int:
+        """Residual size for the fetch strategy (Lemma 5's 1/eps)."""
+        if self.residual_fetch_elems is not None:
+            return self.residual_fetch_elems
+        return max(math.ceil(1.0 / self.epsilon), self.block_elems)

@@ -1,0 +1,543 @@
+"""The hybrid quantile engine: the paper's primary contribution.
+
+:class:`HybridQuantileEngine` wires together every piece:
+
+* a :class:`~repro.warehouse.leveled_store.LeveledStore` (HD) on a
+  :class:`~repro.storage.disk.SimulatedDisk`, with per-partition
+  :class:`~repro.core.summaries.PartitionSummary` objects (HS) attached
+  at partition-creation time;
+* a :class:`~repro.sketches.gk.GKSketch` over the live stream, from
+  which :class:`~repro.core.summaries.StreamSummary` (SS) is extracted
+  at query time;
+* the quick response (Algorithm 5) and the accurate response
+  (Algorithms 6-8) over their combination.
+
+Typical use::
+
+    engine = HybridQuantileEngine(epsilon=1e-3, kappa=10)
+    for batch in workload:
+        engine.stream_update_batch(batch)   # live stream
+        ... engine.quantile(0.5) ...        # query any time
+        engine.end_time_step()              # archive the batch
+
+Every update and query reports its disk-access counts and timings, so
+the benchmark harness reads the same metrics the paper plots.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..sketches.base import rank_for_phi
+from ..sketches.gk import GKSketch
+from ..storage.cache import BlockCache
+from ..storage.disk import SimulatedDisk
+from ..warehouse.compaction import LeveledCompactionStore
+from ..warehouse.leveled_store import LeveledStore
+from ..warehouse.partition import Partition
+from .bounds import CombinedSummary
+from .config import EngineConfig
+from .filters import AccurateSearch
+from .summaries import PartitionSummary, StreamSummary
+from .aggregates import AggregateStats, combine, partition_stats
+from .windows import resolve_range, resolve_window
+
+
+@dataclass(frozen=True)
+class StepReport:
+    """What loading one time step into the warehouse cost.
+
+    ``io_*`` fields are block counts; ``cpu_seconds`` is measured wall
+    time by phase; ``sim_seconds`` applies the disk latency model to
+    the I/O performed this step.
+    """
+
+    step: int
+    batch_elems: int
+    io_total: int
+    io_load: int
+    io_sort: int
+    io_merge: int
+    cpu_seconds: "dict[str, float]"
+    sim_seconds: float
+    merged_levels: bool
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Outcome of one quantile query."""
+
+    value: int
+    target_rank: int
+    total_size: int
+    mode: str
+    estimated_rank: float
+    disk_accesses: int
+    iterations: int
+    truncated: bool
+    wall_seconds: float
+    sim_seconds: float
+    window_steps: Optional[int] = None
+    #: simulated disk seconds if partitions were read concurrently
+    #: (the Section 4 parallel-query direction); <= sim_seconds.
+    parallel_sim_seconds: float = 0.0
+
+    @property
+    def phi(self) -> float:
+        """The quantile fraction this query targeted."""
+        return self.target_rank / self.total_size if self.total_size else 0.0
+
+
+@dataclass(frozen=True)
+class MemoryReport:
+    """Breakdown of the engine's main-memory footprint in words."""
+
+    stream_sketch_words: int
+    stream_summary_words: int
+    historical_summary_words: int
+
+    @property
+    def stream_words(self) -> int:
+        """Words held by the stream-side structures."""
+        return self.stream_sketch_words + self.stream_summary_words
+
+    @property
+    def total_words(self) -> int:
+        """Total words across all in-memory structures."""
+        return self.stream_words + self.historical_summary_words
+
+    @property
+    def total_megabytes(self) -> float:
+        """Total footprint in megabytes."""
+        return self.total_words * 8 / (1024 * 1024)
+
+
+class HybridQuantileEngine:
+    """Quantile queries over the union of historical and streaming data.
+
+    Parameters
+    ----------
+    epsilon:
+        Error parameter: accurate queries have rank error ``O(eps*m)``
+        where m is the live stream size.  Ignored when ``config`` is
+        given.
+    kappa:
+        Merge threshold of the historical store.
+    block_elems:
+        Simulated disk block size in elements.
+    config:
+        Full configuration; overrides the individual arguments.
+    disk:
+        Supply a shared simulated disk (e.g. for baselines measured on
+        the same device); a fresh one is created by default.
+    """
+
+    def __init__(
+        self,
+        epsilon: Optional[float] = None,
+        kappa: int = 10,
+        block_elems: int = 1024,
+        config: Optional[EngineConfig] = None,
+        disk: Optional[SimulatedDisk] = None,
+    ) -> None:
+        if config is None:
+            if epsilon is None:
+                raise ValueError("pass epsilon or a full EngineConfig")
+            config = EngineConfig(
+                epsilon=epsilon, kappa=kappa, block_elems=block_elems
+            )
+        self.config = config
+        self.disk = disk if disk is not None else SimulatedDisk(
+            block_elems=config.block_elems
+        )
+        store_cls = (
+            LeveledCompactionStore
+            if config.compaction == "leveled"
+            else LeveledStore
+        )
+        self.store = store_cls(
+            self.disk,
+            kappa=config.kappa,
+            summary_builder=self._build_partition_summary,
+        )
+        self._gk = self._fresh_stream_sketch()
+        self._stream_chunks: List[np.ndarray] = []
+        self._m = 0
+        self._step = 0
+        self._stream_stats = AggregateStats.empty()
+
+    # ------------------------------------------------------------------
+    # Stream ingestion (Algorithm 4) and warehouse loading (Algorithm 3)
+    # ------------------------------------------------------------------
+
+    def _fresh_stream_sketch(self) -> GKSketch:
+        # GK runs at eps2/2 so the extracted summary meets Lemma 1's
+        # one-sided guarantee (see StreamSummary.extract).
+        return GKSketch(self.config.epsilon2 / 2.0)
+
+    def _build_partition_summary(self, partition: Partition) -> PartitionSummary:
+        # Aggregates ride along with the summary: both are computed
+        # while the partition is written, at no extra disk access.
+        partition.stats = partition_stats(partition)
+        return PartitionSummary.build(partition, self.config.epsilon1)
+
+    def stream_update(self, value: int) -> None:
+        """Process one live stream element."""
+        self._gk.update(value)
+        arr = np.asarray([value], dtype=np.int64)
+        self._stream_chunks.append(arr)
+        self._stream_stats = self._stream_stats.merge(
+            AggregateStats.of_array(arr)
+        )
+        self._m += 1
+
+    def stream_update_batch(self, values: Iterable[int]) -> None:
+        """Process many live stream elements at once."""
+        arr = np.asarray(
+            values if isinstance(values, np.ndarray) else list(values),
+            dtype=np.int64,
+        )
+        if arr.size == 0:
+            return
+        self._gk.update_batch(arr)
+        self._stream_chunks.append(arr.copy())
+        self._stream_stats = self._stream_stats.merge(
+            AggregateStats.of_array(arr)
+        )
+        self._m += int(arr.size)
+
+    def end_time_step(self) -> StepReport:
+        """Archive the current stream batch into HD and reset SS.
+
+        The batch is sorted, stored as a level-0 partition (triggering
+        cascading merges when levels are full), its summary attached,
+        and the stream sketch reset — Algorithm 3 plus StreamReset.
+        """
+        self._step += 1
+        batch = (
+            np.concatenate(self._stream_chunks)
+            if self._stream_chunks
+            else np.empty(0, dtype=np.int64)
+        )
+        before_io = self.disk.stats.counters.snapshot()
+        before_load = self.disk.stats.load.snapshot()
+        before_sort = self.disk.stats.sort.snapshot()
+        before_merge = self.disk.stats.merge.snapshot()
+        cpu_before = dict(self.store.cpu_seconds)
+        started = time.perf_counter()
+        self.store.add_batch(batch, step=self._step)
+        wall = time.perf_counter() - started
+        self._stream_chunks = []
+        self._m = 0
+        self._gk = self._fresh_stream_sketch()
+        self._stream_stats = AggregateStats.empty()
+
+        io_delta = self.disk.stats.counters.delta_since(before_io)
+        load_delta = self.disk.stats.load.delta_since(before_load)
+        sort_delta = self.disk.stats.sort.delta_since(before_sort)
+        merge_delta = self.disk.stats.merge.delta_since(before_merge)
+        cpu = {
+            phase: self.store.cpu_seconds.get(phase, 0.0)
+            - cpu_before.get(phase, 0.0)
+            for phase in ("sort", "merge", "summary")
+        }
+        cpu["load"] = max(0.0, wall - sum(cpu.values()))
+        return StepReport(
+            step=self._step,
+            batch_elems=int(batch.size),
+            io_total=io_delta.total,
+            io_load=load_delta.total,
+            io_sort=sort_delta.total,
+            io_merge=merge_delta.total,
+            cpu_seconds=cpu,
+            sim_seconds=self.disk.latency.seconds(io_delta),
+            merged_levels=merge_delta.total > 0,
+        )
+
+    # ------------------------------------------------------------------
+    # Queries (Algorithms 5-8)
+    # ------------------------------------------------------------------
+
+    @property
+    def n_historical(self) -> int:
+        """Number of archived historical elements n."""
+        return self.store.total_elements()
+
+    @property
+    def m_stream(self) -> int:
+        """Number of live (unarchived) stream elements m."""
+        return self._m
+
+    @property
+    def n_total(self) -> int:
+        """Total number of elements N = n + m."""
+        return self.n_historical + self._m
+
+    @property
+    def steps_loaded(self) -> int:
+        """Highest time step whose batch has been archived."""
+        return self.store.steps_loaded
+
+    def stream_summary(self) -> StreamSummary:
+        """Extract SS from the live GK sketch (Algorithm 4)."""
+        return StreamSummary.extract(self._gk, self.config.epsilon2)
+
+    def _stream_rank_estimate(self, value: int) -> float:
+        """Rank of ``value`` in R from the live sketch's bracket.
+
+        The midpoint of GK's rank interval is within ``eps2 * m / 2``
+        of the truth — the same guarantee class as the Algorithm 8
+        summary estimate, without its quantization.
+        """
+        if self._gk.n == 0:
+            return 0.0
+        lo, hi = self._gk.rank_bounds(int(value))
+        return (lo + hi) / 2.0
+
+    def _query_scope(
+        self,
+        window_steps: Optional[int],
+        step_range: "Optional[tuple[int, int]]" = None,
+    ) -> "tuple[List[Partition], StreamSummary, CombinedSummary]":
+        if step_range is not None:
+            if window_steps is not None:
+                raise ValueError("pass window_steps or step_range, not both")
+            partitions = resolve_range(self.store, *step_range)
+            # A historical interval excludes the live stream.
+            ss = StreamSummary(
+                values=np.empty(0, dtype=np.int64),
+                stream_size=0,
+                eps2=self.config.epsilon2,
+            )
+        else:
+            if window_steps is None:
+                partitions = self.store.partitions()
+            else:
+                partitions = resolve_window(self.store, window_steps)
+            ss = self.stream_summary()
+        summaries = [p.summary for p in partitions if len(p) > 0]
+        combined = CombinedSummary.build(summaries, ss)
+        return partitions, ss, combined
+
+    def query_rank(
+        self,
+        rank: int,
+        mode: str = "accurate",
+        window_steps: Optional[int] = None,
+        step_range: "Optional[tuple[int, int]]" = None,
+    ) -> QueryResult:
+        """Return an element whose rank in T approximates ``rank``.
+
+        ``mode`` selects Algorithm 5 (``"quick"``, memory-only,
+        ``O(eps*N)`` error) or Algorithm 6 (``"accurate"``, a few
+        hundred random block reads, ``O(eps*m)`` error).  With
+        ``window_steps`` the query covers only the last that many time
+        steps of historical data plus the live stream; with
+        ``step_range=(a, b)`` it covers exactly historical steps a..b
+        (no stream), when those align with partition boundaries.
+        """
+        if mode not in ("quick", "accurate"):
+            raise ValueError("mode must be 'quick' or 'accurate'")
+        started = time.perf_counter()
+        io_before = self.disk.stats.counters.snapshot()
+        self.disk.stats.set_phase("query")
+        partitions, ss, combined = self._query_scope(window_steps, step_range)
+        total = combined.total_size
+        rank = max(1, min(int(rank), total))
+        if mode == "quick":
+            value = combined.quick_response(rank)
+            outcome_rank = float(rank)
+            blocks = 0
+            iterations = 0
+            truncated = False
+            critical_path_blocks = 0
+        else:
+            search = AccurateSearch(
+                partitions=partitions,
+                stream_summary=ss,
+                combined=combined,
+                config=self.config,
+                rank=rank,
+                # Historical-range queries exclude the live stream, so
+                # the sketch-backed estimator must not contribute.
+                stream_rank_fn=(
+                    self._stream_rank_estimate if step_range is None else None
+                ),
+            )
+            outcome = search.run()
+            value = outcome.value
+            outcome_rank = outcome.estimated_rank
+            blocks = outcome.random_blocks
+            iterations = outcome.iterations
+            truncated = outcome.truncated
+            critical_path_blocks = outcome.max_partition_blocks
+        self.disk.stats.set_phase("load")
+        io_delta = self.disk.stats.counters.delta_since(io_before)
+        return QueryResult(
+            value=int(value),
+            target_rank=rank,
+            total_size=total,
+            mode=mode,
+            estimated_rank=outcome_rank,
+            disk_accesses=blocks,
+            iterations=iterations,
+            truncated=truncated,
+            wall_seconds=time.perf_counter() - started,
+            sim_seconds=self.disk.latency.seconds(io_delta),
+            window_steps=window_steps,
+            parallel_sim_seconds=(
+                critical_path_blocks
+                * self.disk.latency.seconds_per_random_block
+            ),
+        )
+
+    def quantile(
+        self,
+        phi: float,
+        mode: str = "accurate",
+        window_steps: Optional[int] = None,
+        step_range: "Optional[tuple[int, int]]" = None,
+    ) -> QueryResult:
+        """A ``phi``-quantile of the union (Definition 1)."""
+        if step_range is not None:
+            partitions = resolve_range(self.store, *step_range)
+            total = sum(len(p) for p in partitions)
+        elif window_steps is not None:
+            partitions = resolve_window(self.store, window_steps)
+            total = sum(len(p) for p in partitions) + self._m
+        else:
+            total = self.n_total
+        rank = rank_for_phi(phi, total)
+        return self.query_rank(
+            rank, mode=mode, window_steps=window_steps, step_range=step_range
+        )
+
+    def quantiles(
+        self,
+        phis: "Sequence[float]",
+        window_steps: Optional[int] = None,
+    ) -> List[QueryResult]:
+        """Answer several accurate quantile queries in one pass.
+
+        The queries share one extracted stream summary and one block
+        cache, so blocks touched by one search are free for the next —
+        substantially cheaper than issuing the queries separately.
+        """
+        started = time.perf_counter()
+        io_before = self.disk.stats.counters.snapshot()
+        self.disk.stats.set_phase("query")
+        partitions, ss, combined = self._query_scope(window_steps)
+        total = combined.total_size
+        cache = BlockCache(self.disk, enabled=self.config.block_cache)
+        results = []
+        for phi in phis:
+            rank = rank_for_phi(phi, total)
+            search = AccurateSearch(
+                partitions=partitions,
+                stream_summary=ss,
+                combined=combined,
+                config=self.config,
+                rank=rank,
+                stream_rank_fn=self._stream_rank_estimate,
+                cache=cache,
+            )
+            outcome = search.run()
+            results.append(
+                QueryResult(
+                    value=outcome.value,
+                    target_rank=rank,
+                    total_size=total,
+                    mode="accurate",
+                    estimated_rank=outcome.estimated_rank,
+                    disk_accesses=outcome.random_blocks,
+                    iterations=outcome.iterations,
+                    truncated=outcome.truncated,
+                    wall_seconds=time.perf_counter() - started,
+                    sim_seconds=0.0,
+                    window_steps=window_steps,
+                )
+            )
+        self.disk.stats.set_phase("load")
+        io_delta = self.disk.stats.counters.delta_since(io_before)
+        sim = self.disk.latency.seconds(io_delta)
+        results = [
+            # total pass cost attributed once, on the final result
+            result if i < len(results) - 1 else
+            QueryResult(**{**result.__dict__, "sim_seconds": sim})
+            for i, result in enumerate(results)
+        ]
+        return results
+
+    def aggregate(
+        self,
+        window_steps: Optional[int] = None,
+        step_range: "Optional[tuple[int, int]]" = None,
+    ) -> AggregateStats:
+        """Exact count/sum/min/max/mean over an aligned scope.
+
+        Covers the full union by default, the last ``window_steps``
+        steps plus the live stream, or a historical ``step_range``
+        (stream excluded) — all exact and free of disk access, since
+        per-partition aggregates were computed at write time and the
+        live stream's aggregates are maintained incrementally.
+        """
+        if step_range is not None:
+            if window_steps is not None:
+                raise ValueError("pass window_steps or step_range, not both")
+            partitions = resolve_range(self.store, *step_range)
+            include_stream = False
+        elif window_steps is not None:
+            partitions = resolve_window(self.store, window_steps)
+            include_stream = True
+        else:
+            partitions = self.store.partitions()
+            include_stream = True
+        result = combine(
+            p.stats if p.stats is not None else partition_stats(p)
+            for p in partitions
+        )
+        if include_stream:
+            result = result.merge(self._stream_stats)
+        return result
+
+    def available_window_sizes(self) -> List[int]:
+        """Historical window sizes currently answerable (Figure 11)."""
+        return self.store.available_window_sizes()
+
+    # ------------------------------------------------------------------
+    # Accounting and invariants
+    # ------------------------------------------------------------------
+
+    def memory_report(self) -> MemoryReport:
+        """Actual main-memory footprint of all in-memory structures."""
+        hist = sum(
+            p.summary.memory_words()
+            for p in self.store.partitions()
+            if p.summary is not None
+        )
+        beta2 = self.config.beta2
+        return MemoryReport(
+            stream_sketch_words=self._gk.memory_words(),
+            stream_summary_words=beta2 + 2,
+            historical_summary_words=hist,
+        )
+
+    def check_invariants(self) -> None:
+        """Assert structural invariants of HD and HS (tests/debugging)."""
+        self.store.check_invariant()
+        for partition in self.store.partitions():
+            summary: PartitionSummary = partition.summary
+            if summary is None:
+                raise AssertionError(f"partition {partition!r} lacks summary")
+            if len(partition) and len(summary.values):
+                if summary.values[0] != partition.run.values[0]:
+                    raise AssertionError("summary must start at the minimum")
+                gap_limit = summary.eps1 * summary.partition_size + 1
+                gaps = np.diff(summary.positions)
+                if len(gaps) and gaps.max() > math.ceil(gap_limit):
+                    raise AssertionError("summary rank gaps exceed eps1 * mP")

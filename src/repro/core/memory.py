@@ -1,0 +1,194 @@
+"""Memory budget model.
+
+The paper's experiments sweep a main-memory budget (100-500 MB) and
+split it 50/50 between the stream summary and the historical summary
+(Section 3.1).  This module maps a budget in words (8-byte units) to
+the error parameters ``eps_2`` (stream) and ``eps_1`` (historical) by
+inverting the space bounds of Observation 1:
+
+* stream side: the GK sketch needs ``O((1/eps) log(eps m))`` tuples of
+  three words each, plus the ``beta_2``-entry extracted summary;
+* historical side: ``kappa`` summaries of ``beta_1`` two-word entries
+  per level, with ``ceil(log_kappa T)`` levels.
+
+The same formulas power the "memory" axis of every benchmark, so a
+bench written for "250 MB at paper scale" uses the proportionally
+scaled word budget at simulation scale.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+WORDS_PER_MB = (1024 * 1024) // 8
+_WORDS_PER_GK_TUPLE = 3
+_WORDS_PER_SUMMARY_ENTRY = 2
+
+
+def gk_tuple_estimate(epsilon: float, stream_size: int) -> float:
+    """Model of the number of (v, g, delta) tuples GK keeps.
+
+    The worst case is ``(11 / (2 eps)) log(2 eps m)`` (Greenwald &
+    Khanna), but practical usage is dominated by the ``1 / (2 eps)``
+    term with only a mild logarithmic drift.  This model is calibrated
+    against this implementation's measured tuple counts (within ~35%,
+    erring on the conservative side), so budgets derived from it
+    correspond to memory the sketch actually uses — every contender in
+    the benchmarks is sized through the same model, keeping the
+    memory axis fair.
+    """
+    if not 0 < epsilon < 1:
+        raise ValueError("epsilon must be in (0, 1)")
+    m = max(2, stream_size)
+    drift = 0.05 * math.log2(2.0 * epsilon * m + 1.0)
+    return (1.0 / (2.0 * epsilon)) * (1.0 + max(0.0, drift))
+
+
+def stream_summary_words(eps2: float, stream_size: int) -> float:
+    """Words needed on the stream side for error parameter ``eps2``.
+
+    The stream sketch runs GK at ``eps2 / 2`` so the extracted summary
+    satisfies the one-sided guarantee of Lemma 1, plus ``beta_2`` words
+    for the summary itself.
+    """
+    beta2 = math.ceil(1.0 / eps2) + 1
+    return _WORDS_PER_GK_TUPLE * gk_tuple_estimate(eps2 / 2.0, stream_size) + beta2
+
+
+def historical_summary_words(eps1: float, kappa: int, num_steps: int) -> float:
+    """Words needed for all partition summaries (Lemma 8).
+
+    ``kappa`` partitions per level, ``ceil(log_kappa T)`` levels,
+    ``beta_1`` entries of (value, rank) per summary.
+    """
+    beta1 = math.ceil(1.0 / eps1) + 1
+    levels = max(1, math.ceil(math.log(max(2, num_steps), kappa)))
+    return _WORDS_PER_SUMMARY_ENTRY * beta1 * kappa * levels
+
+
+def _invert_monotone(target_words: float, words_of_eps, lo: float = 1e-9,
+                     hi: float = 0.5) -> float:
+    """Find eps with words_of_eps(eps) ~= target_words (decreasing fn)."""
+    if words_of_eps(hi) >= target_words:
+        return hi
+    if words_of_eps(lo) <= target_words:
+        return lo
+    for _ in range(200):
+        mid = math.sqrt(lo * hi)  # bisect in log space
+        if words_of_eps(mid) > target_words:
+            lo = mid
+        else:
+            hi = mid
+    return hi
+
+
+def epsilon2_for_stream_words(words: float, stream_size: int) -> float:
+    """Smallest stream error achievable within a word budget."""
+    if words < 8:
+        raise ValueError("stream budget too small (need at least 8 words)")
+    return _invert_monotone(words, lambda e: stream_summary_words(e, stream_size))
+
+
+def epsilon1_for_historical_words(
+    words: float, kappa: int, num_steps: int
+) -> float:
+    """Smallest historical error achievable within a word budget."""
+    if words < 8:
+        raise ValueError("historical budget too small (need at least 8 words)")
+    return _invert_monotone(
+        words, lambda e: historical_summary_words(e, kappa, num_steps)
+    )
+
+
+def pure_gk_words(epsilon: float, total_size: int) -> float:
+    """Words a pure-streaming GK sketch needs over the whole dataset."""
+    return _WORDS_PER_GK_TUPLE * gk_tuple_estimate(epsilon, total_size) + 4
+
+
+def epsilon_for_pure_gk_words(words: float, total_size: int) -> float:
+    """Smallest GK error achievable within a word budget over N items."""
+    if words < 8:
+        raise ValueError("budget too small (need at least 8 words)")
+    return _invert_monotone(words, lambda e: pure_gk_words(e, total_size))
+
+
+def qdigest_words(epsilon: float, universe_log2: int) -> float:
+    """Words a Q-Digest needs: 2 words per node.
+
+    The worst case is 3 log(U)/eps nodes; measured usage of this
+    implementation sits near 1.5 log(U)/eps (see
+    ``evaluation.calibration``), which is what the model uses so the
+    baseline gets the full benefit of its budget.
+    """
+    return 2 * 1.5 * universe_log2 / epsilon + 4
+
+
+def epsilon_for_qdigest_words(words: float, universe_log2: int) -> float:
+    """Smallest Q-Digest error achievable within a word budget."""
+    if words < 8:
+        raise ValueError("budget too small (need at least 8 words)")
+    return min(0.5, 3.0 * universe_log2 / max(words - 4.0, 1.0))
+
+
+@dataclass(frozen=True)
+class MemoryBudget:
+    """A main-memory budget with a stream/historical split.
+
+    Parameters
+    ----------
+    total_words:
+        Budget in 8-byte words.
+    stream_fraction:
+        Fraction of the budget given to the stream summary; the paper
+        uses 0.5 and notes the optimal split as future work (our
+        memory-split ablation explores it).
+    """
+
+    total_words: float
+    stream_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.total_words <= 0:
+            raise ValueError("total_words must be positive")
+        if not 0 < self.stream_fraction < 1:
+            raise ValueError("stream_fraction must be in (0, 1)")
+
+    @classmethod
+    def from_megabytes(
+        cls, megabytes: float, stream_fraction: float = 0.5
+    ) -> "MemoryBudget":
+        """Build a budget from a size in megabytes."""
+        return cls(total_words=megabytes * WORDS_PER_MB,
+                   stream_fraction=stream_fraction)
+
+    @property
+    def stream_words(self) -> float:
+        """Words held by the stream-side structures."""
+        return self.total_words * self.stream_fraction
+
+    @property
+    def historical_words(self) -> float:
+        """Words allotted to the historical summaries."""
+        return self.total_words * (1.0 - self.stream_fraction)
+
+    def epsilons(self, stream_size: int, kappa: int, num_steps: int
+                 ) -> "tuple[float, float]":
+        """Derive (eps1, eps2) that fit this budget."""
+        eps2 = epsilon2_for_stream_words(self.stream_words, stream_size)
+        eps1 = epsilon1_for_historical_words(
+            self.historical_words, kappa, num_steps
+        )
+        return eps1, eps2
+
+
+def epsilon_for_budget(
+    budget: MemoryBudget, stream_size: int, kappa: int, num_steps: int
+) -> float:
+    """Single engine epsilon honoring Algorithm 1's eps1/eps2 ratios.
+
+    The engine's invariants need ``eps1 = eps/2`` and ``eps2 = eps/4``;
+    the binding constraint is whichever side needs the larger epsilon.
+    """
+    eps1, eps2 = budget.epsilons(stream_size, kappa, num_steps)
+    return min(0.5, max(2.0 * eps1, 4.0 * eps2))

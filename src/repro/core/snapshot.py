@@ -1,0 +1,123 @@
+"""Consistent read snapshots.
+
+The paper's motivating systems (TidalRace, DataDepot) care about
+*consistency*: a dashboard refreshing several quantiles must not see
+half of them computed before a batch load and half after (Golab &
+Johnson, "Consistency in a stream warehouse", is cited as [12]).
+
+:class:`EngineSnapshot` pins a query view at creation time: the
+partition list and a deep copy of the stream sketch.  Queries against
+the snapshot answer as of that instant, no matter how much the engine
+ingests or merges afterwards.  (In this simulation old partitions stay
+reachable through the snapshot's references; a file-backed deployment
+would pin them through manifest reference counts.)
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Sequence
+
+from ..sketches.base import rank_for_phi
+from ..sketches.gk import GKSketch
+from ..warehouse.partition import Partition
+from .bounds import CombinedSummary
+from .config import EngineConfig
+from .engine import HybridQuantileEngine, QueryResult
+from .filters import AccurateSearch
+from .summaries import StreamSummary
+
+
+def _copy_sketch(sketch: GKSketch) -> GKSketch:
+    copied = GKSketch(sketch.epsilon)
+    copied._values = list(sketch._values)
+    copied._g = list(sketch._g)
+    copied._delta = list(sketch._delta)
+    copied._n = sketch.n
+    return copied
+
+
+class EngineSnapshot:
+    """An immutable, consistent view of an engine's queryable state."""
+
+    def __init__(self, engine: HybridQuantileEngine) -> None:
+        self.config: EngineConfig = engine.config
+        self._disk = engine.disk
+        self._partitions: List[Partition] = list(engine.store.partitions())
+        self._gk = _copy_sketch(engine._gk)
+        self._ss: StreamSummary = StreamSummary.extract(
+            self._gk, self.config.epsilon2
+        )
+        self.n_historical = sum(len(p) for p in self._partitions)
+        self.m_stream = self._gk.n
+        self.created_at_step = engine.steps_loaded
+
+    @property
+    def n_total(self) -> int:
+        """Total number of elements N = n + m."""
+        return self.n_historical + self.m_stream
+
+    def _stream_rank(self, value: int) -> float:
+        if self._gk.n == 0:
+            return 0.0
+        lo, hi = self._gk.rank_bounds(int(value))
+        return (lo + hi) / 2.0
+
+    def query_rank(self, rank: int, mode: str = "accurate") -> QueryResult:
+        """Answer exactly as the engine would have at snapshot time."""
+        if mode not in ("quick", "accurate"):
+            raise ValueError("mode must be 'quick' or 'accurate'")
+        if self.n_total == 0:
+            raise ValueError("snapshot is empty")
+        started = time.perf_counter()
+        summaries = [p.summary for p in self._partitions if len(p) > 0]
+        combined = CombinedSummary.build(summaries, self._ss)
+        rank = max(1, min(int(rank), combined.total_size))
+        if mode == "quick":
+            value = combined.quick_response(rank)
+            blocks = 0
+            estimated = float(rank)
+            iterations = 0
+            truncated = False
+        else:
+            search = AccurateSearch(
+                partitions=self._partitions,
+                stream_summary=self._ss,
+                combined=combined,
+                config=self.config,
+                rank=rank,
+                stream_rank_fn=self._stream_rank,
+            )
+            outcome = search.run()
+            value = outcome.value
+            blocks = outcome.random_blocks
+            estimated = outcome.estimated_rank
+            iterations = outcome.iterations
+            truncated = outcome.truncated
+        return QueryResult(
+            value=int(value),
+            target_rank=rank,
+            total_size=combined.total_size,
+            mode=mode,
+            estimated_rank=estimated,
+            disk_accesses=blocks,
+            iterations=iterations,
+            truncated=truncated,
+            wall_seconds=time.perf_counter() - started,
+            sim_seconds=blocks * self._disk.latency.seconds_per_random_block,
+        )
+
+    def quantile(self, phi: float, mode: str = "accurate") -> QueryResult:
+        """Return an approximate ``phi``-quantile (Definition 1)."""
+        return self.query_rank(rank_for_phi(phi, self.n_total), mode=mode)
+
+    def quantiles(
+        self, phis: Sequence[float], mode: str = "accurate"
+    ) -> List[QueryResult]:
+        """Several quantiles, all consistent with one another."""
+        return [self.quantile(phi, mode=mode) for phi in phis]
+
+
+def snapshot(engine: HybridQuantileEngine) -> EngineSnapshot:
+    """Pin a consistent read view of ``engine``."""
+    return EngineSnapshot(engine)

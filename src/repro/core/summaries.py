@@ -1,0 +1,215 @@
+"""In-memory summaries: HS (per partition) and SS (stream).
+
+HS (Algorithm 2): when a partition is created the engine samples
+``beta_1`` elements at evenly spaced ranks — the smallest element plus
+the element at rank ``ceil(i * eps_1 * eta)`` for each i.  Every entry
+stores its exact rank inside the partition, so query-time filter
+narrowing (Algorithm 8 line 5) costs no disk access.
+
+SS (Algorithm 4): at query time the engine extracts ``beta_2`` elements
+from the GK sketch — the exact stream minimum plus, for each i, an
+element whose rank is guaranteed (Lemma 1) to lie in
+``[i * eps_2 * m, (i + 1) * eps_2 * m]``.  The one-sided guarantee is
+obtained by running GK at ``eps_2 / 2`` and querying at an offset.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sketches.gk import GKSketch
+from ..warehouse.partition import Partition
+
+
+@dataclass(frozen=True)
+class PartitionSummary:
+    """Summary of one sorted partition (one HS entry).
+
+    Attributes
+    ----------
+    values:
+        Sorted sample values, ascending.
+    positions:
+        1-indexed rank of each sample inside its partition: the element
+        at ``positions[i]`` (1-based) of the sorted partition equals
+        ``values[i]``.
+    partition_size:
+        Number of elements in the summarized partition (``m_P``).
+    eps1:
+        Spacing parameter: consecutive samples are at most
+        ``eps1 * partition_size + 1`` ranks apart.
+    """
+
+    values: np.ndarray
+    positions: np.ndarray
+    partition_size: int
+    eps1: float
+
+    @classmethod
+    def build(cls, partition: Partition, eps1: float) -> "PartitionSummary":
+        """Sample a freshly written partition (Algorithm 2).
+
+        Runs at partition-creation time while the data is in flight, so
+        it charges no additional disk access (the run's ``values`` view
+        is free by design).
+        """
+        data = partition.run.values
+        size = len(data)
+        if size == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return cls(values=empty, positions=empty.copy(),
+                       partition_size=0, eps1=eps1)
+        beta1 = math.ceil(1.0 / eps1) + 1
+        ranks = [1]
+        for i in range(1, beta1):
+            ranks.append(min(size, math.ceil(i * eps1 * size)))
+        unique_ranks = sorted(set(ranks))
+        positions = np.asarray(unique_ranks, dtype=np.int64)
+        values = data[positions - 1].astype(np.int64)
+        return cls(values=values, positions=positions,
+                   partition_size=size, eps1=eps1)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def alpha(self, value: int) -> int:
+        """Number of summary elements <= ``value`` (the paper's alpha_P)."""
+        return int(np.searchsorted(self.values, value, side="right"))
+
+    def search_bounds(self, value: int) -> "tuple[int, int]":
+        """Index bounds (lo, hi) for locating ``value``'s rank on disk.
+
+        Returns 0-indexed bounds such that the first partition index
+        whose element exceeds ``value`` lies in ``[lo, hi]``.  Because
+        each summary entry's exact rank is stored, this costs no I/O.
+        """
+        j = self.alpha(value)
+        lo = int(self.positions[j - 1]) if j > 0 else 0
+        hi = int(self.positions[j]) - 1 if j < len(self.positions) else self.partition_size
+        return lo, max(lo, hi)
+
+    def rank_lower_bound(self, alpha: int) -> float:
+        """Lower bound on rank-in-partition given ``alpha`` (Lemma 2)."""
+        if alpha <= 0:
+            return 0.0
+        return (alpha - 1) * self.eps1 * self.partition_size
+
+    def rank_upper_bound(self, alpha: int) -> float:
+        """Upper bound on rank-in-partition given ``alpha`` (Lemma 2).
+
+        Deliberately unclamped (it may exceed the partition size),
+        matching the paper's own computation in Figure 3.
+        """
+        if alpha <= 0:
+            return 0.0
+        return alpha * self.eps1 * self.partition_size
+
+    def memory_words(self) -> int:
+        """Two words per entry: value and rank."""
+        return 2 * len(self.values) + 2
+
+
+@dataclass(frozen=True)
+class StreamSummary:
+    """The extracted stream summary SS (Algorithm 4).
+
+    ``values[i]`` has true rank in ``[i * eps2 * m, (i + 1) * eps2 * m]``
+    for ``i >= 1`` (Lemma 1); ``values[0]`` is the exact minimum.
+
+    When extracted from a live GK sketch, ``strict_uppers[i]`` records
+    a *provable* upper bound on the number of stream elements strictly
+    below ``values[i]`` (the sketch's own rank bracket).  The bounds
+    computation prefers these over the asymptotic Lemma 1 formula,
+    which can be off by rounding constants on tiny or duplicate-heavy
+    streams.  Summaries built directly from values (e.g. the Figure 3
+    golden example) have no brackets and fall back to the paper's
+    formula.
+    """
+
+    values: np.ndarray
+    stream_size: int
+    eps2: float
+    strict_uppers: "np.ndarray | None" = None
+
+    @classmethod
+    def extract(cls, sketch: GKSketch, eps2: float) -> "StreamSummary":
+        """Build SS from the running GK sketch.
+
+        The sketch must have been created with error ``eps2 / 2``; the
+        query offset of ``eps_gk * m`` turns GK's two-sided guarantee
+        into Lemma 1's one-sided bracket.
+        """
+        m = sketch.n
+        if m == 0:
+            return cls(values=np.empty(0, dtype=np.int64),
+                       stream_size=0, eps2=eps2)
+        beta2 = math.ceil(1.0 / eps2) + 1
+        slack = math.ceil(sketch.epsilon * m)
+        entries = [sketch.min_value()]
+        # Nothing precedes the exact minimum.
+        uppers = [0]
+        for i in range(1, beta2):
+            target = min(m, math.ceil(i * eps2 * m) + slack)
+            entries.append(sketch.query_rank(target))
+            # At most target + eps_gk*m elements precede the response.
+            uppers.append(min(m, target + slack))
+        values = np.asarray(entries, dtype=np.int64)
+        # GK responses are monotone in the queried rank, but guard the
+        # invariant the bounds computation relies on.
+        values = np.maximum.accumulate(values)
+        return cls(
+            values=values,
+            stream_size=m,
+            eps2=eps2,
+            strict_uppers=np.asarray(uppers, dtype=np.int64),
+        )
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the summarized stream had no elements."""
+        return self.stream_size == 0
+
+    def alpha(self, value: int) -> int:
+        """Number of summary elements <= ``value`` (the paper's alpha_S)."""
+        return int(np.searchsorted(self.values, value, side="right"))
+
+    def rank_estimate(self, value: int) -> float:
+        """Approximate rank of ``value`` in the stream (Alg. 8, lines 8-10)."""
+        return self.alpha(value) * self.eps2 * self.stream_size
+
+    def rank_lower_bound(self, alpha: int) -> float:
+        """Lower bound on rank given ``alpha`` (Lemma 2)."""
+        if alpha <= 0:
+            return 0.0
+        return (alpha - 1) * self.eps2 * self.stream_size
+
+    def rank_upper_bound(self, alpha: int, from_stream: bool) -> float:
+        """Upper bound on stream rank (Lemma 2 argument).
+
+        For an element that *is* a summary entry, Lemma 1 bounds its own
+        rank by ``alpha * eps2 * m``; for other elements only the next
+        entry bounds it, giving ``(alpha + 1) * eps2 * m``.
+        """
+        if self.is_empty or alpha <= 0:
+            # Below the exact minimum: no stream element can be smaller.
+            return 0.0
+        coefficient = alpha if from_stream else alpha + 1
+        # Unclamped, matching the paper's Figure 3 computation.
+        return coefficient * self.eps2 * self.stream_size
+
+    def largest_at_most(self, value: int) -> "int | None":
+        """Largest summary element <= value, or None."""
+        j = self.alpha(value)
+        if j == 0:
+            return None
+        return int(self.values[j - 1])
+
+    def memory_words(self) -> int:
+        """Current memory footprint in 8-byte words."""
+        return len(self.values) + 2

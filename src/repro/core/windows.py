@@ -1,0 +1,69 @@
+"""Windowed queries (Section 2.4, "Queries Over Windows").
+
+A query over the last ``w`` time steps is answerable exactly when the
+window boundary aligns with a partition boundary in HD; the engine then
+restricts TS and the accurate search to the partition suffix covering
+the window (plus the live stream, which is always part of the window).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..warehouse.leveled_store import LeveledStore
+from ..warehouse.partition import Partition
+
+
+class WindowNotAlignedError(ValueError):
+    """Raised when a window does not align with partition boundaries."""
+
+    def __init__(self, window_steps: int, available: List[int]) -> None:
+        self.window_steps = window_steps
+        self.available = available
+        super().__init__(
+            f"window of {window_steps} steps does not align with "
+            f"partition boundaries; available windows: {available}"
+        )
+
+
+def resolve_window(store: LeveledStore, window_steps: int) -> List[Partition]:
+    """Partitions covering exactly the last ``window_steps`` steps.
+
+    Raises :class:`WindowNotAlignedError` for unaligned windows; the
+    exception carries the feasible window sizes (the x-axis of the
+    paper's Figure 11).
+    """
+    partitions = store.window_partitions(window_steps)
+    if partitions is None:
+        raise WindowNotAlignedError(
+            window_steps, store.available_window_sizes()
+        )
+    return partitions
+
+
+class RangeNotAlignedError(ValueError):
+    """Raised when a step range does not align with partitions."""
+
+    def __init__(self, start_step: int, end_step: int) -> None:
+        self.start_step = start_step
+        self.end_step = end_step
+        super().__init__(
+            f"steps [{start_step}, {end_step}] do not align with "
+            f"partition boundaries"
+        )
+
+
+def resolve_range(
+    store: LeveledStore, start_step: int, end_step: int
+) -> List[Partition]:
+    """Partitions covering exactly ``[start_step, end_step]``.
+
+    The arbitrary-range generalization of windowed queries: any
+    historical interval whose endpoints fall on partition boundaries
+    is queryable (e.g. "the same week last year" for trend
+    comparisons).  Raises :class:`RangeNotAlignedError` otherwise.
+    """
+    partitions = store.range_partitions(start_step, end_step)
+    if partitions is None:
+        raise RangeNotAlignedError(start_step, end_step)
+    return partitions

@@ -1,0 +1,43 @@
+"""Experiment harness: runner, metrics, theory bounds, reporting."""
+
+from .calibration import CalibrationPoint, calibrate_gk, calibrate_qdigest
+from .metrics import QueryAccuracy, measure, rank_error_is_inherent
+from .reporting import format_table, print_table, write_csv
+from .runner import (
+    DEFAULT_PHIS,
+    EngineRun,
+    ExperimentResult,
+    ExperimentRunner,
+)
+from .theory import (
+    WorkedExample,
+    accurate_relative_error_bound,
+    memory_words_bound,
+    query_disk_accesses_bound,
+    quick_relative_error_bound,
+    section_2_4_example,
+    update_disk_accesses_bound,
+)
+
+__all__ = [
+    "CalibrationPoint",
+    "calibrate_gk",
+    "calibrate_qdigest",
+    "QueryAccuracy",
+    "measure",
+    "rank_error_is_inherent",
+    "format_table",
+    "print_table",
+    "write_csv",
+    "DEFAULT_PHIS",
+    "EngineRun",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "WorkedExample",
+    "accurate_relative_error_bound",
+    "memory_words_bound",
+    "query_disk_accesses_bound",
+    "quick_relative_error_bound",
+    "section_2_4_example",
+    "update_disk_accesses_bound",
+]

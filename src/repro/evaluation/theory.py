@@ -1,0 +1,111 @@
+"""Theoretical bounds from the paper, as executable formulas.
+
+These power the "Relative Error in Theory" curve of Figure 5, sanity
+checks in the test suite, and the Section 2.4 worked example (10 TB/day
+for three years).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def accurate_relative_error_bound(
+    epsilon: float, stream_size: int, phi: float, total_size: int
+) -> float:
+    """Theory bound on relative error of the accurate response.
+
+    Lemma 5: rank error is ``O(eps * m)``; relative error divides by
+    ``phi * N``.
+    """
+    if total_size <= 0:
+        raise ValueError("total_size must be positive")
+    return epsilon * stream_size / max(1.0, phi * total_size)
+
+
+def quick_relative_error_bound(epsilon: float, phi: float) -> float:
+    """Lemma 3: quick-response rank error is at most ``1.5 eps N``."""
+    return 1.5 * epsilon / phi
+
+
+def memory_words_bound(
+    epsilon: float, stream_size: int, kappa: int, num_steps: int
+) -> float:
+    """Observation 1: ``O((1/eps)(log(eps m) + kappa log_kappa T))``."""
+    m = max(2, stream_size)
+    steps = max(2, num_steps)
+    stream_part = max(1.0, math.log2(max(2.0, epsilon * m)))
+    hist_part = kappa * math.ceil(math.log(steps, kappa))
+    return (stream_part + hist_part) / epsilon
+
+
+def update_disk_accesses_bound(
+    historical_elems: int, block_elems: int, kappa: int, num_steps: int
+) -> float:
+    """Lemma 6: amortized ``O((n / (B T)) log_kappa T)`` per time step."""
+    steps = max(2, num_steps)
+    blocks = historical_elems / block_elems
+    return (blocks / steps) * max(1.0, math.log(steps, kappa))
+
+
+def query_disk_accesses_bound(
+    historical_elems: int,
+    block_elems: int,
+    kappa: int,
+    num_steps: int,
+    universe_log2: int,
+) -> float:
+    """Lemma 7: ``O(log_kappa T * log(n/B) * log U)`` per query."""
+    steps = max(2, num_steps)
+    blocks = max(2.0, historical_elems / block_elems)
+    return (
+        max(1.0, math.log(steps, kappa))
+        * math.log2(blocks)
+        * universe_log2
+    )
+
+
+@dataclass(frozen=True)
+class WorkedExample:
+    """The Section 2.4 illustration, recomputed."""
+
+    update_accesses_per_day: float
+    update_seconds_per_day: float
+    query_accesses: float
+    memory_words: float
+
+
+def section_2_4_example() -> WorkedExample:
+    """Reproduce the paper's 10 TB/day, 3-year worked example.
+
+    10 TB/day for 3 years, 100 KB blocks (10**8 blocks per batch),
+    eps = 1e-6, 1 ms per block.  The paper quotes ~10**6 amortized
+    accesses per day (about 1000 seconds), a few hundred query
+    accesses, and ~3*10**5 words of memory.
+    """
+    blocks_per_batch = 10**8
+    days = 3 * 365
+    epsilon = 1e-6
+    kappa = 10
+    # Paper's arithmetic: (10**8 / (3*365)) * log10(10**8).
+    update = blocks_per_batch / days * math.log(blocks_per_batch, kappa)
+    query = query_disk_accesses_bound(
+        historical_elems=blocks_per_batch * days,  # in blocks already
+        block_elems=1,
+        kappa=kappa,
+        num_steps=days,
+        universe_log2=20,
+    )
+    memory = memory_words_bound(
+        epsilon=epsilon,
+        stream_size=10**12,
+        kappa=kappa,
+        num_steps=days,
+    )
+    return WorkedExample(
+        update_accesses_per_day=update,
+        update_seconds_per_day=update * 1e-3,
+        query_accesses=query,
+        memory_words=memory,
+    )

@@ -1,0 +1,11 @@
+"""Heavy hitters over historical + streaming data (future-work aggregate)."""
+
+from .hybrid import HeavyHitter, HeavyHitterReport, HeavyHittersEngine
+from .misra_gries import MisraGriesSketch
+
+__all__ = [
+    "HeavyHitter",
+    "HeavyHitterReport",
+    "HeavyHittersEngine",
+    "MisraGriesSketch",
+]

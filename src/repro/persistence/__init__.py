@@ -1,0 +1,24 @@
+"""Durability: warehouse directories, sketch serialization, checkpoints."""
+
+from .checkpoint import load_engine, save_engine
+from .serialization import (
+    SerializationError,
+    dump_gk,
+    dump_qdigest,
+    load_gk,
+    load_qdigest,
+)
+from .warehouse_store import PersistenceError, load_store, save_store
+
+__all__ = [
+    "load_engine",
+    "save_engine",
+    "SerializationError",
+    "dump_gk",
+    "dump_qdigest",
+    "load_gk",
+    "load_qdigest",
+    "PersistenceError",
+    "load_store",
+    "save_store",
+]

@@ -1,0 +1,105 @@
+"""Whole-engine checkpoints: warehouse + stream state + configuration.
+
+``save_engine`` writes everything a restart needs into one directory:
+
+* the warehouse partitions and manifest (``warehouse/``);
+* the live GK sketch (``stream_sketch.bin``);
+* the raw, not-yet-archived stream buffer (``stream_buffer.npy`` —
+  in a real deployment this is the spooled stream capture);
+* the engine configuration and step counter (``engine.json``).
+
+``load_engine`` restores an engine that answers every query exactly as
+the saved one did and continues ingesting from the same time step.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from ..core.config import EngineConfig
+from ..core.engine import HybridQuantileEngine
+from ..storage.disk import SimulatedDisk
+from .serialization import dump_gk, load_gk
+from .warehouse_store import PersistenceError, load_store, save_store
+
+_ENGINE_FORMAT = "repro-engine-v1"
+ENGINE_FILE = "engine.json"
+SKETCH_FILE = "stream_sketch.bin"
+BUFFER_FILE = "stream_buffer.npy"
+WAREHOUSE_DIR = "warehouse"
+
+
+def save_engine(engine: HybridQuantileEngine, directory: "str | Path") -> Path:
+    """Checkpoint ``engine`` into ``directory``; returns its path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    save_store(engine.store, directory / WAREHOUSE_DIR)
+    (directory / SKETCH_FILE).write_bytes(dump_gk(engine._gk))
+    buffer = (
+        np.concatenate(engine._stream_chunks)
+        if engine._stream_chunks
+        else np.empty(0, dtype=np.int64)
+    )
+    np.save(directory / BUFFER_FILE, buffer)
+    state = {
+        "format": _ENGINE_FORMAT,
+        "config": asdict(engine.config),
+        "step": engine._step,
+        "stream_elems": engine.m_stream,
+    }
+    temp = directory / (ENGINE_FILE + ".tmp")
+    with open(temp, "w", encoding="utf-8") as handle:
+        json.dump(state, handle, indent=2)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp, directory / ENGINE_FILE)
+    return directory
+
+
+def load_engine(
+    directory: "str | Path",
+    disk: Optional[SimulatedDisk] = None,
+) -> HybridQuantileEngine:
+    """Restore an engine checkpointed by :func:`save_engine`."""
+    directory = Path(directory)
+    state_path = directory / ENGINE_FILE
+    if not state_path.exists():
+        raise PersistenceError(f"no engine state at {state_path}")
+    try:
+        state = json.loads(state_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise PersistenceError(f"garbled engine state: {exc}") from exc
+    if state.get("format") != _ENGINE_FORMAT:
+        raise PersistenceError(
+            f"unknown engine format {state.get('format')!r}"
+        )
+    config = EngineConfig(**state["config"])
+    engine = HybridQuantileEngine(config=config, disk=disk)
+    engine.store = load_store(
+        directory / WAREHOUSE_DIR,
+        engine.disk,
+        kappa=config.kappa,
+        summary_builder=engine._build_partition_summary,
+        # Restore into the same store flavour the config prescribes.
+        store_cls=type(engine.store),
+    )
+    engine._gk = load_gk((directory / SKETCH_FILE).read_bytes())
+    buffer = np.load(directory / BUFFER_FILE)
+    engine._stream_chunks = [buffer] if buffer.size else []
+    engine._m = int(buffer.size)
+    if engine._m != int(state["stream_elems"]):
+        raise PersistenceError(
+            "stream buffer size disagrees with engine state"
+        )
+    if engine._gk.n != engine._m:
+        raise PersistenceError(
+            "stream sketch count disagrees with stream buffer"
+        )
+    engine._step = int(state["step"])
+    return engine

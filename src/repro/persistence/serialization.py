@@ -1,0 +1,114 @@
+"""Binary serialization for the streaming sketches.
+
+A data-stream warehouse restarts: the stream sketch's state must
+survive, or the current time step's accuracy guarantee is lost.  These
+functions serialize the GK and Q-Digest sketches to compact,
+versioned byte strings (NumPy archives under the hood) and restore
+them exactly — a round-tripped sketch answers every query identically.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import numpy as np
+
+from ..sketches.gk import GKSketch
+from ..sketches.qdigest import QDigestSketch
+
+_GK_FORMAT = "repro-gk-v1"
+_QDIGEST_FORMAT = "repro-qdigest-v1"
+
+
+class SerializationError(ValueError):
+    """Raised when a payload is not a valid serialized sketch."""
+
+
+def _pack(header: dict, arrays: "dict[str, np.ndarray]") -> bytes:
+    buffer = io.BytesIO()
+    np.savez(
+        buffer,
+        header=np.frombuffer(
+            json.dumps(header).encode("utf-8"), dtype=np.uint8
+        ),
+        **arrays,
+    )
+    return buffer.getvalue()
+
+
+def _unpack(data: bytes, expected_format: str):
+    try:
+        archive = np.load(io.BytesIO(data), allow_pickle=False)
+        header = json.loads(bytes(archive["header"]).decode("utf-8"))
+    except Exception as exc:
+        raise SerializationError(f"not a serialized sketch: {exc}") from exc
+    if header.get("format") != expected_format:
+        raise SerializationError(
+            f"expected {expected_format}, found {header.get('format')!r}"
+        )
+    return header, archive
+
+
+def dump_gk(sketch: GKSketch) -> bytes:
+    """Serialize a GK sketch (tuples plus counters) to bytes."""
+    header = {
+        "format": _GK_FORMAT,
+        "epsilon": sketch.epsilon,
+        "n": sketch.n,
+    }
+    return _pack(
+        header,
+        {
+            "values": np.asarray(sketch._values, dtype=np.int64),
+            "g": np.asarray(sketch._g, dtype=np.int64),
+            "delta": np.asarray(sketch._delta, dtype=np.int64),
+        },
+    )
+
+
+def load_gk(data: bytes) -> GKSketch:
+    """Restore a GK sketch serialized by :func:`dump_gk`."""
+    header, archive = _unpack(data, _GK_FORMAT)
+    sketch = GKSketch(header["epsilon"])
+    sketch._values = [int(v) for v in archive["values"]]
+    sketch._g = [int(v) for v in archive["g"]]
+    sketch._delta = [int(v) for v in archive["delta"]]
+    sketch._n = int(header["n"])
+    if sum(sketch._g) > sketch._n:
+        raise SerializationError("inconsistent GK payload: sum(g) > n")
+    return sketch
+
+
+def dump_qdigest(sketch: QDigestSketch) -> bytes:
+    """Serialize a Q-Digest (node ids and counts) to bytes."""
+    nodes = np.asarray(sorted(sketch._counts), dtype=np.int64)
+    counts = np.asarray(
+        [sketch._counts[int(node)] for node in nodes], dtype=np.int64
+    )
+    header = {
+        "format": _QDIGEST_FORMAT,
+        "epsilon": sketch.epsilon,
+        "universe_log2": sketch.universe_log2,
+        "n": sketch.n,
+    }
+    return _pack(header, {"nodes": nodes, "counts": counts})
+
+
+def load_qdigest(data: bytes) -> QDigestSketch:
+    """Restore a Q-Digest serialized by :func:`dump_qdigest`."""
+    header, archive = _unpack(data, _QDIGEST_FORMAT)
+    sketch = QDigestSketch(
+        header["epsilon"], universe_log2=int(header["universe_log2"])
+    )
+    nodes = archive["nodes"]
+    counts = archive["counts"]
+    if np.any(counts < 0):
+        raise SerializationError("negative node count in payload")
+    sketch._counts = {
+        int(node): int(count) for node, count in zip(nodes, counts)
+    }
+    sketch._n = int(header["n"])
+    if sum(sketch._counts.values()) != sketch._n:
+        raise SerializationError("inconsistent Q-Digest payload counts")
+    return sketch

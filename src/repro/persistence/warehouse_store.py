@@ -1,0 +1,163 @@
+"""Durable storage for the historical warehouse HD.
+
+The simulated block device measures I/O; this module makes the
+warehouse *durable*: every partition is written to a ``.npy`` file in a
+directory, described by a versioned JSON manifest that is replaced
+atomically (write-to-temp then ``os.replace``), so a crash mid-save
+leaves the previous state intact.  CRC32 checksums in the manifest
+detect corrupted or tampered partition files on load.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+from ..storage.disk import SimulatedDisk
+from ..storage.runfile import SortedRun
+from ..warehouse.leveled_store import LeveledStore, SummaryBuilder
+from ..warehouse.partition import Partition
+
+MANIFEST_NAME = "MANIFEST.json"
+_MANIFEST_FORMAT = "repro-warehouse-v1"
+
+
+class PersistenceError(RuntimeError):
+    """Raised when a warehouse directory is missing, corrupt or stale."""
+
+
+def _partition_filename(partition: Partition) -> str:
+    return (
+        f"part-L{partition.level}"
+        f"-{partition.start_step:06d}-{partition.end_step:06d}.npy"
+    )
+
+
+def _crc32_of(path: Path) -> int:
+    checksum = 0
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            checksum = zlib.crc32(chunk, checksum)
+    return checksum
+
+
+def save_store(store: LeveledStore, directory: "str | Path") -> Path:
+    """Persist every partition of ``store`` plus an atomic manifest.
+
+    Partition files already present from a previous save are rewritten
+    only if their content changed (same name implies same step range,
+    but a merged layout produces new names); files no longer referenced
+    are removed after the new manifest is in place.  Returns the
+    manifest path.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest_levels = []
+    wanted_files = {MANIFEST_NAME}
+    for level_index in range(store.num_levels):
+        level_entries = []
+        for partition in store.level(level_index):
+            filename = _partition_filename(partition)
+            path = directory / filename
+            if not path.exists():
+                np.save(path, partition.run.values)
+            level_entries.append(
+                {
+                    "file": filename,
+                    "level": partition.level,
+                    "start_step": partition.start_step,
+                    "end_step": partition.end_step,
+                    "num_elems": len(partition),
+                    "crc32": _crc32_of(path),
+                }
+            )
+            wanted_files.add(filename)
+        manifest_levels.append(level_entries)
+    manifest = {
+        "format": _MANIFEST_FORMAT,
+        "kappa": store.kappa,
+        "steps_loaded": store.steps_loaded,
+        "levels": manifest_levels,
+    }
+    manifest_path = directory / MANIFEST_NAME
+    temp_path = directory / (MANIFEST_NAME + ".tmp")
+    with open(temp_path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp_path, manifest_path)
+    for stale in directory.glob("part-*.npy"):
+        if stale.name not in wanted_files:
+            stale.unlink()
+    return manifest_path
+
+
+def load_store(
+    directory: "str | Path",
+    disk: SimulatedDisk,
+    kappa: Optional[int] = None,
+    summary_builder: Optional[SummaryBuilder] = None,
+    verify_checksums: bool = True,
+    store_cls: type = LeveledStore,
+) -> LeveledStore:
+    """Rebuild a :class:`LeveledStore` from a saved directory.
+
+    Raises :class:`PersistenceError` on a missing/garbled manifest, a
+    kappa mismatch, or (with ``verify_checksums``) corrupted partition
+    files.  Loading charges sequential reads for every partition, as a
+    real recovery scan would.  ``store_cls`` selects the store flavour
+    (e.g. LeveledCompactionStore) the layout should be adopted into.
+    """
+    directory = Path(directory)
+    manifest_path = directory / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise PersistenceError(f"no manifest at {manifest_path}")
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise PersistenceError(f"garbled manifest: {exc}") from exc
+    if manifest.get("format") != _MANIFEST_FORMAT:
+        raise PersistenceError(
+            f"unknown manifest format {manifest.get('format')!r}"
+        )
+    stored_kappa = int(manifest["kappa"])
+    if kappa is not None and kappa != stored_kappa:
+        raise PersistenceError(
+            f"store was saved with kappa={stored_kappa}, requested {kappa}"
+        )
+    store = store_cls(
+        disk, kappa=stored_kappa, summary_builder=summary_builder
+    )
+    levels: List[List[Partition]] = []
+    for level_entries in manifest["levels"]:
+        level: List[Partition] = []
+        for entry in level_entries:
+            path = directory / entry["file"]
+            if not path.exists():
+                raise PersistenceError(f"missing partition file {path}")
+            if verify_checksums and _crc32_of(path) != entry["crc32"]:
+                raise PersistenceError(f"checksum mismatch in {path}")
+            data = np.load(path)
+            if len(data) != entry["num_elems"]:
+                raise PersistenceError(
+                    f"{path} holds {len(data)} elements, manifest says "
+                    f"{entry['num_elems']}"
+                )
+            disk.charge_sequential_read(len(data))
+            run = SortedRun(disk, data, charge_write=False)
+            level.append(
+                Partition(
+                    level=entry["level"],
+                    start_step=entry["start_step"],
+                    end_step=entry["end_step"],
+                    run=run,
+                )
+            )
+        levels.append(level)
+    store.load_partitions(levels)
+    return store

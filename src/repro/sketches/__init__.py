@@ -1,0 +1,19 @@
+"""Streaming quantile sketches: GK, Q-Digest, RANDOM, and an exact oracle."""
+
+from .base import QuantileSketch, clamp_rank, rank_for_phi
+from .exact import ExactQuantiles
+from .gk import GKSketch
+from .mrl import MRL99Sketch
+from .qdigest import QDigestSketch
+from .random_sampler import RandomSamplerSketch
+
+__all__ = [
+    "QuantileSketch",
+    "clamp_rank",
+    "rank_for_phi",
+    "ExactQuantiles",
+    "GKSketch",
+    "MRL99Sketch",
+    "QDigestSketch",
+    "RandomSamplerSketch",
+]

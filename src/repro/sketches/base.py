@@ -1,0 +1,66 @@
+"""Common interface for streaming quantile sketches.
+
+Every sketch in this package consumes a stream of int64 values one at a
+time (``update``) or in batches (``update_batch``), and answers rank
+queries: given a target rank ``r`` (1-indexed, rank = number of elements
+less than or equal to the answer), return a value whose true rank is
+within the sketch's error bound of ``r``.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from typing import Iterable
+
+
+class QuantileSketch(ABC):
+    """Abstract streaming quantile sketch."""
+
+    @abstractmethod
+    def update(self, value: int) -> None:
+        """Process one stream element."""
+
+    def update_batch(self, values: Iterable[int]) -> None:
+        """Process many elements; subclasses may override with fast paths."""
+        for value in values:
+            self.update(int(value))
+
+    @property
+    @abstractmethod
+    def n(self) -> int:
+        """Number of elements processed so far."""
+
+    @abstractmethod
+    def query_rank(self, rank: int) -> int:
+        """Return a value whose true rank approximates ``rank``.
+
+        ``rank`` is clamped to ``[1, n]``.  The tightness of the
+        approximation is sketch-specific; see each implementation.
+        """
+
+    @abstractmethod
+    def memory_words(self) -> int:
+        """Current memory footprint in 8-byte words."""
+
+    def quantile(self, phi: float) -> int:
+        """Return an approximate ``phi``-quantile (Definition 1).
+
+        ``phi`` must lie in (0, 1]; the target rank is ``ceil(phi * n)``.
+        """
+        rank = rank_for_phi(phi, self.n)
+        return self.query_rank(rank)
+
+
+def rank_for_phi(phi: float, n: int) -> int:
+    """The 1-indexed rank targeted by a ``phi``-quantile over ``n`` items."""
+    if not 0 < phi <= 1:
+        raise ValueError("phi must be in (0, 1]")
+    if n <= 0:
+        raise ValueError("dataset is empty")
+    return clamp_rank(math.ceil(phi * n), n)
+
+
+def clamp_rank(rank: int, n: int) -> int:
+    """Clamp a requested rank into the valid range [1, n]."""
+    return max(1, min(int(rank), n))

@@ -1,0 +1,23 @@
+"""Simulated disk substrate: block device, sorted runs, external sort.
+
+The paper's evaluation counts disk accesses on a real laptop disk; this
+package reproduces that accounting with a simulated block device (see
+DESIGN.md section 3 for the substitution rationale).
+"""
+
+from .cache import BlockCache
+from .disk import SimulatedDisk
+from .external_sort import ExternalSorter, merge_runs
+from .runfile import SortedRun
+from .stats import DiskLatencyModel, DiskStats, IoCounters
+
+__all__ = [
+    "BlockCache",
+    "SimulatedDisk",
+    "ExternalSorter",
+    "merge_runs",
+    "SortedRun",
+    "DiskLatencyModel",
+    "DiskStats",
+    "IoCounters",
+]

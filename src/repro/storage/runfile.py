@@ -1,0 +1,157 @@
+"""Sorted on-disk runs.
+
+A :class:`SortedRun` is the unit the warehouse stores: one sorted array
+of int64 values living on a :class:`~repro.storage.disk.SimulatedDisk`.
+All random access goes through a :class:`~repro.storage.cache.BlockCache`
+so queries are charged block-granular I/O, and the block-confinement
+optimization of Section 2.4 falls out of the cache for free.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+import numpy as np
+
+from .cache import BlockCache
+from .disk import SimulatedDisk
+
+_run_ids = itertools.count()
+
+
+class SortedRun:
+    """One sorted partition of historical data on the simulated disk.
+
+    Parameters
+    ----------
+    disk:
+        Backing device; all I/O is charged to its stats.
+    data:
+        The values of the run.  Must already be sorted ascending; a
+        copy is stored so the caller's array stays independent.
+    charge_write:
+        When ``True`` (default) the constructor charges the sequential
+        writes needed to persist the run.  Pass ``False`` when the
+        caller has already accounted for the write (e.g. the external
+        sorter charges its own passes).
+    """
+
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        data: np.ndarray,
+        charge_write: bool = True,
+    ) -> None:
+        arr = np.asarray(data, dtype=np.int64)
+        if len(arr) > 1 and np.any(arr[1:] < arr[:-1]):
+            raise ValueError("SortedRun requires sorted input")
+        self._disk = disk
+        self._data = arr.copy()
+        self.run_id = next(_run_ids)
+        if charge_write:
+            disk.charge_sequential_write(len(self._data))
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    @property
+    def disk(self) -> SimulatedDisk:
+        """The simulated device backing this run."""
+        return self._disk
+
+    @property
+    def values(self) -> np.ndarray:
+        """Read-only view of the run contents (no I/O charged).
+
+        Intended for tests and for operations that account for their
+        own I/O (sequential merges, summary construction at write
+        time).
+        """
+        view = self._data.view()
+        view.flags.writeable = False
+        return view
+
+    def min_value(self) -> int:
+        """Smallest element (exact)."""
+        if not len(self._data):
+            raise ValueError("empty run has no minimum")
+        return int(self._data[0])
+
+    def max_value(self) -> int:
+        """Largest element (exact)."""
+        if not len(self._data):
+            raise ValueError("empty run has no maximum")
+        return int(self._data[-1])
+
+    def element_at(self, index: int, cache: Optional[BlockCache] = None) -> int:
+        """Return the element at ``index`` (0-based), charging one block.
+
+        With a cache, re-reads of an already-charged block are free.
+        """
+        if not 0 <= index < len(self._data):
+            raise IndexError(index)
+        self._charge_block(self._disk.block_of(index), cache)
+        return int(self._data[index])
+
+    def read_range(
+        self,
+        lo: int,
+        hi: int,
+        cache: Optional[BlockCache] = None,
+    ) -> np.ndarray:
+        """Read elements with indices in ``[lo, hi)``, charging block I/O."""
+        lo = max(lo, 0)
+        hi = min(hi, len(self._data))
+        if lo >= hi:
+            return np.empty(0, dtype=np.int64)
+        first = self._disk.block_of(lo)
+        last = self._disk.block_of(hi - 1)
+        if cache is not None:
+            cache.touch_range(self.run_id, first, last)
+        else:
+            self._disk.charge_random_read(last - first + 1)
+        return self._data[lo:hi].copy()
+
+    def rank_of(
+        self,
+        value: int,
+        lo: int = 0,
+        hi: Optional[int] = None,
+        cache: Optional[BlockCache] = None,
+    ) -> int:
+        """Number of elements ``<= value``, by block-counted binary search.
+
+        ``lo`` and ``hi`` bound the element indices searched (the
+        summaries supply these bounds at query time — Alg. 8 line 5),
+        so the search costs ``O(log((hi - lo) / B))`` block reads.
+        """
+        if hi is None:
+            hi = len(self._data)
+        lo = max(lo, 0)
+        hi = min(hi, len(self._data))
+        # Classic binary search for the first index whose element
+        # exceeds ``value``; each probe touches one block.
+        while lo < hi:
+            mid = (lo + hi) // 2
+            self._charge_block(self._disk.block_of(mid), cache)
+            if self._data[mid] <= value:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def in_memory_rank(self, value: int) -> int:
+        """Rank without I/O accounting (summary construction only)."""
+        return int(np.searchsorted(self._data, value, side="right"))
+
+    def scan(self) -> np.ndarray:
+        """Sequentially read the whole run, charging sequential I/O."""
+        self._disk.charge_sequential_read(len(self._data))
+        return self._data.copy()
+
+    def _charge_block(self, block: int, cache: Optional[BlockCache]) -> None:
+        if cache is not None:
+            cache.touch(self.run_id, block)
+        else:
+            self._disk.charge_random_read(1)

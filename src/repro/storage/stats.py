@@ -1,0 +1,139 @@
+"""I/O accounting for the simulated block device.
+
+The paper's primary performance metric is the *number of disk accesses*
+(block reads and writes), split into sequential I/O (loading, sorting,
+merging partitions — Lemma 6) and random I/O (query-time binary-search
+probes — Lemma 7).  Every storage-layer operation in this package reports
+its cost through an :class:`IoCounters` instance, and a
+:class:`DiskLatencyModel` converts the counts into simulated seconds so
+benchmarks can report a "time" axis comparable in shape to the paper's
+wall-clock figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class IoCounters:
+    """Mutable tally of block-granular disk operations.
+
+    Attributes
+    ----------
+    sequential_reads:
+        Blocks read as part of a sequential scan (sort / merge input).
+    sequential_writes:
+        Blocks written sequentially (loading a batch, writing a merged
+        partition).
+    random_reads:
+        Blocks read at arbitrary offsets (query-time probes).
+    """
+
+    sequential_reads: int = 0
+    sequential_writes: int = 0
+    random_reads: int = 0
+
+    @property
+    def total(self) -> int:
+        """Total number of disk accesses of any kind."""
+        return self.sequential_reads + self.sequential_writes + self.random_reads
+
+    @property
+    def sequential(self) -> int:
+        """Total sequential accesses (reads plus writes)."""
+        return self.sequential_reads + self.sequential_writes
+
+    def add(self, other: "IoCounters") -> None:
+        """Accumulate another tally into this one."""
+        self.sequential_reads += other.sequential_reads
+        self.sequential_writes += other.sequential_writes
+        self.random_reads += other.random_reads
+
+    def snapshot(self) -> "IoCounters":
+        """Return an independent copy of the current counts."""
+        return IoCounters(
+            sequential_reads=self.sequential_reads,
+            sequential_writes=self.sequential_writes,
+            random_reads=self.random_reads,
+        )
+
+    def delta_since(self, earlier: "IoCounters") -> "IoCounters":
+        """Return the counts accumulated since ``earlier`` was snapshotted."""
+        return IoCounters(
+            sequential_reads=self.sequential_reads - earlier.sequential_reads,
+            sequential_writes=self.sequential_writes - earlier.sequential_writes,
+            random_reads=self.random_reads - earlier.random_reads,
+        )
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.sequential_reads = 0
+        self.sequential_writes = 0
+        self.random_reads = 0
+
+
+@dataclass(frozen=True)
+class DiskLatencyModel:
+    """Converts I/O counts into simulated seconds.
+
+    The paper's Section 2.4 example assumes "a fast hard disk can access
+    1 block per millisecond"; sequential transfers on the same class of
+    disk are roughly an order of magnitude cheaper per block, which is
+    the default here.
+    """
+
+    seconds_per_sequential_block: float = 1e-4
+    seconds_per_random_block: float = 1e-3
+
+    def seconds(self, counters: IoCounters) -> float:
+        """Simulated seconds spent on the accesses in ``counters``."""
+        return (
+            counters.sequential * self.seconds_per_sequential_block
+            + counters.random_reads * self.seconds_per_random_block
+        )
+
+
+@dataclass
+class DiskStats:
+    """Aggregated statistics for one simulated disk.
+
+    Keeps both running totals and per-phase sub-tallies that the update
+    benchmarks (Fig. 6 and Fig. 7) break out: load, sort, merge.
+    """
+
+    counters: IoCounters = field(default_factory=IoCounters)
+    load: IoCounters = field(default_factory=IoCounters)
+    sort: IoCounters = field(default_factory=IoCounters)
+    merge: IoCounters = field(default_factory=IoCounters)
+    query: IoCounters = field(default_factory=IoCounters)
+
+    _phase: str = "load"
+
+    def set_phase(self, phase: str) -> None:
+        """Direct subsequent accesses to the named phase sub-tally.
+
+        ``phase`` must be one of ``"load"``, ``"sort"``, ``"merge"`` or
+        ``"query"``.
+        """
+        if phase not in ("load", "sort", "merge", "query"):
+            raise ValueError(f"unknown I/O phase: {phase!r}")
+        self._phase = phase
+
+    def _bucket(self) -> IoCounters:
+        return getattr(self, self._phase)
+
+    def record_sequential_read(self, blocks: int = 1) -> None:
+        """Tally sequential block reads."""
+        self.counters.sequential_reads += blocks
+        self._bucket().sequential_reads += blocks
+
+    def record_sequential_write(self, blocks: int = 1) -> None:
+        """Tally sequential block writes."""
+        self.counters.sequential_writes += blocks
+        self._bucket().sequential_writes += blocks
+
+    def record_random_read(self, blocks: int = 1) -> None:
+        """Tally random block reads."""
+        self.counters.random_reads += blocks
+        self._bucket().random_reads += blocks

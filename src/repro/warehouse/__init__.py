@@ -1,0 +1,7 @@
+"""The on-disk historical warehouse HD: leveled sorted partitions."""
+
+from .compaction import LeveledCompactionStore
+from .leveled_store import LeveledStore
+from .partition import Partition
+
+__all__ = ["LeveledStore", "LeveledCompactionStore", "Partition"]

@@ -1,0 +1,54 @@
+"""Partitions: the unit of storage in the historical warehouse HD."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..storage.runfile import SortedRun
+
+
+@dataclass
+class Partition:
+    """One sorted partition of historical data.
+
+    Attributes
+    ----------
+    level:
+        The partition's level in HD (0 = newest, smallest).
+    start_step, end_step:
+        Inclusive range of time steps whose data this partition holds
+        (the ``P_{i,j}`` notation of Figure 2).
+    run:
+        The on-disk sorted data.
+    summary:
+        The in-memory summary HS entry for this partition (built by the
+        engine's summary factory at partition-creation time, so it
+        costs no extra disk access — Section 2.1).
+    """
+
+    level: int
+    start_step: int
+    end_step: int
+    run: SortedRun
+    summary: Optional[Any] = None
+    #: exact aggregate stats, computed at write time like the summary
+    stats: Optional[Any] = None
+
+    def __len__(self) -> int:
+        return len(self.run)
+
+    @property
+    def num_steps(self) -> int:
+        """Number of time steps covered by this partition."""
+        return self.end_step - self.start_step + 1
+
+    def covers(self, step: int) -> bool:
+        """Whether data from ``step`` lives in this partition."""
+        return self.start_step <= step <= self.end_step
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Partition(level={self.level}, steps={self.start_step}"
+            f"..{self.end_step}, n={len(self.run)})"
+        )

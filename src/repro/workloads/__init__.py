@@ -1,0 +1,26 @@
+"""The four evaluation workloads of Section 3.1."""
+
+from .base import Workload
+from .drift import DriftWorkload
+from .network import NetworkTraceWorkload
+from .replay import ReplayWorkload
+from .synthetic import NormalWorkload, UniformWorkload
+from .wikipedia import WikipediaWorkload
+
+ALL_WORKLOADS = (
+    UniformWorkload,
+    NormalWorkload,
+    WikipediaWorkload,
+    NetworkTraceWorkload,
+)
+
+__all__ = [
+    "Workload",
+    "NormalWorkload",
+    "UniformWorkload",
+    "WikipediaWorkload",
+    "NetworkTraceWorkload",
+    "ReplayWorkload",
+    "DriftWorkload",
+    "ALL_WORKLOADS",
+]

@@ -1,0 +1,41 @@
+"""Workload protocol: deterministic batch generators.
+
+A workload produces int64 batches, one per time step, from an explicit
+seed so every experiment is reproducible run-to-run.  The four concrete
+workloads mirror the paper's Section 3.1 datasets (two synthetic, two
+modelled after the real traces — see DESIGN.md for the substitutions).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator
+
+import numpy as np
+
+
+class Workload(ABC):
+    """A deterministic source of int64 batches."""
+
+    #: Human-readable name used in benchmark tables.
+    name: str = "workload"
+    #: log2 of the smallest power-of-two universe containing all values
+    #: (needed by Q-Digest and used to bound value bisection).
+    universe_log2: int = 34
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = np.random.default_rng(seed)
+        self.seed = seed
+
+    @abstractmethod
+    def generate(self, size: int) -> np.ndarray:
+        """Produce the next ``size`` elements of the stream."""
+
+    def batches(self, num_steps: int, batch_elems: int) -> Iterator[np.ndarray]:
+        """Yield ``num_steps`` batches of ``batch_elems`` elements each."""
+        for _ in range(num_steps):
+            yield self.generate(batch_elems)
+
+    def reset(self) -> None:
+        """Rewind the generator to its initial seed."""
+        self._rng = np.random.default_rng(self.seed)

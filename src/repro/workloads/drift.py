@@ -1,0 +1,79 @@
+"""Drift workload: a distribution that shifts over time.
+
+Integrated historical+streaming analytics exist because distributions
+*change* — the paper motivates comparing "current trends in the
+streaming data with those observed over different time periods".
+:class:`DriftWorkload` makes that concrete: a normal distribution whose
+mean walks linearly (or jumps) across batches, so windowed and
+step-range queries return visibly different quantiles from full-history
+queries.  Used by tests and demos that exercise window semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Workload
+
+
+class DriftWorkload(Workload):
+    """Normal batches whose mean moves as time passes.
+
+    Parameters
+    ----------
+    seed:
+        RNG seed.
+    start_mean, drift_per_batch:
+        The b-th generated batch is centred at
+        ``start_mean + b * drift_per_batch``.
+    stddev:
+        Spread of each batch.
+    jump_at, jump_to:
+        Optional regime change: from batch index ``jump_at`` onward the
+        mean jumps to ``jump_to`` (then keeps drifting from there).
+    """
+
+    name = "drift"
+    universe_log2 = 32
+
+    def __init__(
+        self,
+        seed: int = 0,
+        start_mean: float = 1e6,
+        drift_per_batch: float = 5e4,
+        stddev: float = 1e5,
+        jump_at: "int | None" = None,
+        jump_to: "float | None" = None,
+    ) -> None:
+        super().__init__(seed)
+        if (jump_at is None) != (jump_to is None):
+            raise ValueError("jump_at and jump_to go together")
+        self.start_mean = start_mean
+        self.drift_per_batch = drift_per_batch
+        self.stddev = stddev
+        self.jump_at = jump_at
+        self.jump_to = jump_to
+        self._batch_index = 0
+
+    def current_mean(self) -> float:
+        """Centre of the next batch to be generated."""
+        index = self._batch_index
+        if self.jump_at is not None and index >= self.jump_at:
+            base = self.jump_to
+            index = index - self.jump_at
+        else:
+            base = self.start_mean
+        return base + index * self.drift_per_batch
+
+    def generate(self, size: int) -> np.ndarray:
+        """Produce the next ``size`` elements of the stream."""
+        mean = self.current_mean()
+        self._batch_index += 1
+        values = self._rng.normal(mean, self.stddev, size=size)
+        limit = float(2 ** self.universe_log2 - 1)
+        return np.clip(np.rint(values), 0, limit).astype(np.int64)
+
+    def reset(self) -> None:
+        """Rewind the generator to its initial state."""
+        super().reset()
+        self._batch_index = 0

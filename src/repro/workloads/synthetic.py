@@ -1,0 +1,59 @@
+"""The paper's two synthetic datasets: Normal and Uniform Random."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Workload
+
+
+class NormalWorkload(Workload):
+    """Normal distribution, mean 100 million, stddev 10 million (§3.1).
+
+    Values are rounded to int64 and clipped at zero (the paper's Java
+    generator produced longs from the same distribution).
+    """
+
+    name = "normal"
+    universe_log2 = 28  # values concentrate well below 2**28 ~ 2.7e8
+
+    def __init__(
+        self,
+        seed: int = 0,
+        mean: float = 1e8,
+        stddev: float = 1e7,
+    ) -> None:
+        super().__init__(seed)
+        self.mean = mean
+        self.stddev = stddev
+
+    def generate(self, size: int) -> np.ndarray:
+        """Produce the next ``size`` elements of the stream."""
+        values = self._rng.normal(self.mean, self.stddev, size=size)
+        limit = float(2 ** self.universe_log2 - 1)
+        return np.clip(np.rint(values), 0, limit).astype(np.int64)
+
+
+class UniformWorkload(Workload):
+    """Uniform integers from 1e8 to 1e9 (§3.1)."""
+
+    name = "uniform"
+    universe_log2 = 30  # 1e9 < 2**30
+
+    def __init__(
+        self,
+        seed: int = 0,
+        low: int = 100_000_000,
+        high: int = 1_000_000_000,
+    ) -> None:
+        super().__init__(seed)
+        if low >= high:
+            raise ValueError("low must be < high")
+        self.low = low
+        self.high = high
+
+    def generate(self, size: int) -> np.ndarray:
+        """Produce the next ``size`` elements of the stream."""
+        return self._rng.integers(
+            self.low, self.high, size=size, dtype=np.int64
+        )

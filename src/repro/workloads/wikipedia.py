@@ -1,0 +1,52 @@
+"""Synthetic stand-in for the Wikipedia page-view dataset.
+
+The paper's third dataset takes each tuple to be "the size of the page
+returned by a request to Wikipedia" from the public pagecounts dump.
+That dump is unavailable offline, so we synthesize response sizes with
+the shape such traces are known to have: a log-normal body (most pages
+are a few to a few hundred kilobytes) with heavy duplication — many
+requests hit the same popular pages, so the same sizes recur.  What the
+quantile algorithms are sensitive to is precisely this skewed,
+duplicate-heavy value distribution; see DESIGN.md for the substitution
+note.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Workload
+
+
+class WikipediaWorkload(Workload):
+    """Log-normal page sizes with a Zipf-popularity duplicate structure.
+
+    A catalog of ``num_pages`` page sizes is drawn log-normally once;
+    each request then picks a page with Zipf popularity, so realized
+    batches repeat popular sizes heavily.
+    """
+
+    name = "wikipedia"
+    universe_log2 = 26  # sizes capped below 64 MB
+
+    def __init__(
+        self,
+        seed: int = 0,
+        num_pages: int = 200_000,
+        log_mean: float = 9.5,
+        log_sigma: float = 1.2,
+        zipf_a: float = 1.3,
+    ) -> None:
+        super().__init__(seed)
+        self.num_pages = num_pages
+        self.zipf_a = zipf_a
+        catalog_rng = np.random.default_rng(seed ^ 0x5A17)
+        sizes = catalog_rng.lognormal(log_mean, log_sigma, size=num_pages)
+        limit = float(2 ** self.universe_log2 - 1)
+        self._catalog = np.clip(np.rint(sizes), 64, limit).astype(np.int64)
+
+    def generate(self, size: int) -> np.ndarray:
+        """Produce the next ``size`` elements of the stream."""
+        ranks = self._rng.zipf(self.zipf_a, size=size)
+        indices = (ranks - 1) % self.num_pages
+        return self._catalog[indices]

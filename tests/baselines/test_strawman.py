@@ -1,0 +1,74 @@
+"""Tests for the strawman (always fully sorted) baseline."""
+
+import numpy as np
+
+from repro import ExactQuantiles, StrawmanEngine
+
+
+def run_strawman(rng, epsilon=0.05, steps=4, batch=1500):
+    engine = StrawmanEngine(epsilon=epsilon, block_elems=10)
+    oracle = ExactQuantiles()
+    for _ in range(steps):
+        data = rng.integers(0, 10**6, batch)
+        engine.stream_update_batch(data)
+        oracle.update_batch(data)
+        engine.end_time_step()
+    live = rng.integers(0, 10**6, batch)
+    engine.stream_update_batch(live)
+    oracle.update_batch(live)
+    return engine, oracle
+
+
+class TestStrawman:
+    def test_accuracy_matches_hybrid_guarantee(self, rng):
+        epsilon = 0.05
+        engine, oracle = run_strawman(rng, epsilon)
+        for phi in (0.1, 0.5, 0.9):
+            result = engine.quantile(phi)
+            high = oracle.rank(result.value)
+            low = oracle.rank_strict(result.value) + 1
+            err = max(0, low - result.target_rank, result.target_rank - high)
+            assert err <= 1.5 * epsilon * engine.m_stream + 2
+
+    def test_single_sorted_partition(self, rng):
+        engine, _ = run_strawman(rng)
+        assert engine.n_historical == 4 * 1500
+        values = engine._partition.run.values
+        assert np.all(np.diff(values) >= 0)
+
+    def test_update_io_grows_linearly(self, rng):
+        """Each step rewrites all history: the strawman's weakness."""
+        engine = StrawmanEngine(epsilon=0.05, block_elems=10)
+        totals = []
+        for _ in range(5):
+            engine.stream_update_batch(rng.integers(0, 100, 1000))
+            totals.append(engine.end_time_step().io_total)
+        # first step: write 100 blocks; step k: read (k-1)*100 + write k*100
+        assert totals[0] == 100
+        assert totals[1] == 100 + 200
+        assert totals[4] == 400 + 500
+        assert totals == sorted(totals)
+
+    def test_update_io_exceeds_hybrid(self, rng):
+        from repro import HybridQuantileEngine
+
+        strawman = StrawmanEngine(epsilon=0.05, block_elems=10)
+        hybrid = HybridQuantileEngine(epsilon=0.05, kappa=3, block_elems=10)
+        strawman_io = 0
+        hybrid_io = 0
+        for _ in range(10):
+            data = rng.integers(0, 10**6, 1000)
+            strawman.stream_update_batch(data)
+            hybrid.stream_update_batch(data)
+            strawman_io += strawman.end_time_step().io_total
+            hybrid_io += hybrid.end_time_step().io_total
+        assert strawman_io > hybrid_io
+
+    def test_query_uses_few_disk_accesses(self, rng):
+        engine, _ = run_strawman(rng)
+        result = engine.quantile(0.5)
+        assert 0 < result.disk_accesses < 50
+
+    def test_memory_words_positive(self, rng):
+        engine, _ = run_strawman(rng)
+        assert engine.memory_words() > 0

@@ -1,0 +1,135 @@
+"""Property tests for TS and the Lemma 2 rank bounds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import CombinedSummary
+from repro.core.summaries import PartitionSummary, StreamSummary
+from repro.sketches import GKSketch
+from repro.storage import SimulatedDisk, SortedRun
+from repro.warehouse import Partition
+
+
+def build_scene(partition_datas, stream_data, eps1=0.25, eps2=0.125):
+    """Construct summaries plus the flattened exact dataset."""
+    disk = SimulatedDisk(block_elems=8)
+    summaries = []
+    for data in partition_datas:
+        run = SortedRun(disk, np.sort(np.asarray(data, dtype=np.int64)))
+        p = Partition(level=0, start_step=1, end_step=1, run=run)
+        summaries.append(PartitionSummary.build(p, eps1))
+    gk = GKSketch(eps2 / 2.0)
+    stream = np.asarray(stream_data, dtype=np.int64)
+    if stream.size:
+        gk.update_batch(stream)
+    ss = StreamSummary.extract(gk, eps2)
+    combined = CombinedSummary.build(summaries, ss)
+    everything = np.sort(
+        np.concatenate(
+            [np.asarray(d, dtype=np.int64) for d in partition_datas]
+            + [stream]
+        )
+    )
+    return combined, everything
+
+
+class TestCombinedSummary:
+    def test_empty_everything_raises(self):
+        with pytest.raises(ValueError):
+            build_scene([], [])
+
+    def test_total_size(self):
+        combined, everything = build_scene(
+            [range(100), range(50)], range(200)
+        )
+        assert combined.total_size == len(everything) == 350
+
+    def test_values_sorted(self):
+        combined, _ = build_scene([range(100)], range(50, 150))
+        assert np.all(np.diff(combined.values) >= 0)
+
+    def test_bounds_monotone(self):
+        combined, _ = build_scene(
+            [range(100), range(200, 300)], range(150, 250)
+        )
+        assert np.all(np.diff(combined.lower) >= -1e-9)
+        assert np.all(np.diff(combined.upper) >= -1e-9)
+
+    def test_stream_only(self):
+        combined, everything = build_scene([], range(1000))
+        assert combined.total_size == 1000
+        assert combined.from_stream.all()
+
+    def test_historical_only(self):
+        combined, everything = build_scene([range(1000)], [])
+        assert combined.total_size == 1000
+        assert not combined.from_stream.any()
+
+    def test_lemma2_gap_bound(self):
+        """Lemma 2 part 2: U_i - L_i <= eps * N with eps = 2*eps1 = 4*eps2."""
+        rng = np.random.default_rng(0)
+        parts = [rng.integers(0, 10**6, 700) for _ in range(3)]
+        stream = rng.integers(0, 10**6, 700)
+        eps1, eps2 = 0.25, 0.125
+        combined, everything = build_scene(parts, stream, eps1, eps2)
+        epsilon = max(2 * eps1, 4 * eps2)
+        gaps = combined.upper - combined.lower
+        assert gaps.max() <= epsilon * combined.total_size + 1e-6
+
+
+class TestFilters:
+    def test_filters_bracket_rank(self):
+        rng = np.random.default_rng(1)
+        parts = [rng.integers(0, 10**6, 500) for _ in range(2)]
+        stream = rng.integers(0, 10**6, 400)
+        combined, everything = build_scene(parts, stream)
+        for r in (1, 10, 350, 700, 1400):
+            u, v = combined.generate_filters(r)
+            rank_u = int(np.searchsorted(everything, u, side="right"))
+            rank_v = int(np.searchsorted(everything, v, side="right"))
+            assert rank_u <= r <= rank_v, (r, u, v, rank_u, rank_v)
+
+    def test_filter_gap_bound(self):
+        """Lemma 4: rank(v) - rank(u) < 4 eps N."""
+        rng = np.random.default_rng(2)
+        parts = [rng.integers(0, 10**6, 600) for _ in range(3)]
+        stream = rng.integers(0, 10**6, 600)
+        eps1, eps2 = 0.25, 0.125
+        combined, everything = build_scene(parts, stream, eps1, eps2)
+        epsilon = max(2 * eps1, 4 * eps2)
+        for r in range(1, combined.total_size, 97):
+            u, v = combined.generate_filters(r)
+            rank_u = int(np.searchsorted(everything, u, side="right"))
+            rank_v = int(np.searchsorted(everything, v, side="right"))
+            assert rank_v - rank_u <= 4 * epsilon * combined.total_size + 1
+
+
+class TestBoundsProperty:
+    @given(
+        parts=st.lists(
+            st.lists(st.integers(0, 10**5), min_size=1, max_size=150),
+            min_size=0,
+            max_size=3,
+        ),
+        stream=st.lists(st.integers(0, 10**5), min_size=0, max_size=150),
+        r_fraction=st.floats(0.01, 1.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_lemma2_bracketing(self, parts, stream, r_fraction):
+        """L_i <= rank(TS[i], T) <= U_i for every TS element."""
+        if not parts and not stream:
+            return
+        combined, everything = build_scene(parts, stream, 0.25, 0.125)
+        for value, lo, up in zip(
+            combined.values, combined.lower, combined.upper
+        ):
+            true = int(np.searchsorted(everything, value, side="right"))
+            assert lo <= true + 1e-9
+            assert true <= up + 1e-9
+        r = max(1, int(r_fraction * combined.total_size))
+        u, v = combined.generate_filters(r)
+        rank_u = int(np.searchsorted(everything, u, side="right"))
+        rank_v = int(np.searchsorted(everything, v, side="right"))
+        assert rank_u <= r <= rank_v

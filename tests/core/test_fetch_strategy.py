@@ -1,0 +1,103 @@
+"""Tests for the Lemma 5 'fetch' query strategy."""
+
+import numpy as np
+import pytest
+
+from repro import EngineConfig, ExactQuantiles, HybridQuantileEngine
+
+from ..conftest import fill_engine
+
+
+def build(rng, strategy="fetch", epsilon=0.05, **config_kwargs):
+    config = EngineConfig(
+        epsilon=epsilon,
+        kappa=3,
+        block_elems=16,
+        query_strategy=strategy,
+        **config_kwargs,
+    )
+    engine = HybridQuantileEngine(config=config)
+    data = fill_engine(engine, rng, steps=6, batch=2000, live=2000)
+    oracle = ExactQuantiles()
+    oracle.update_batch(data)
+    return engine, oracle
+
+
+def interval_error(oracle, value, target):
+    high = oracle.rank(value)
+    low = oracle.rank_strict(value) + 1
+    return max(0, low - target, target - high)
+
+
+class TestFetchStrategy:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            EngineConfig(epsilon=0.1, query_strategy="teleport")
+        with pytest.raises(ValueError):
+            EngineConfig(epsilon=0.1, residual_fetch_elems=0)
+
+    def test_residual_threshold_default(self):
+        config = EngineConfig(epsilon=0.01, block_elems=16)
+        assert config.residual_threshold == 100
+        config = EngineConfig(epsilon=0.5, block_elems=64)
+        assert config.residual_threshold == 64
+
+    def test_guarantee_holds(self, rng):
+        epsilon = 0.05
+        engine, oracle = build(rng, epsilon=epsilon)
+        for phi in (0.05, 0.25, 0.5, 0.75, 0.95, 1.0):
+            result = engine.quantile(phi)
+            err = interval_error(oracle, result.value, result.target_rank)
+            assert err <= 1.5 * epsilon * engine.m_stream + 2, (phi, err)
+
+    def test_returns_actual_element(self, rng):
+        engine, oracle = build(rng)
+        result = engine.quantile(0.5)
+        assert oracle.rank(result.value) > oracle.rank_strict(result.value)
+
+    def test_agrees_with_bisect_within_guarantee(self, rng):
+        epsilon = 0.02
+        seeds = np.random.default_rng(77)
+        answers = {}
+        for strategy in ("bisect", "fetch"):
+            inner = np.random.default_rng(4242)
+            engine, oracle = build(inner, strategy=strategy, epsilon=epsilon)
+            result = engine.quantile(0.5)
+            answers[strategy] = interval_error(
+                oracle, result.value, result.target_rank
+            )
+        for strategy, err in answers.items():
+            assert err <= 1.5 * epsilon * 2000 + 2, (strategy, err)
+
+    def test_disk_accesses_counted(self, rng):
+        engine, _ = build(rng)
+        result = engine.quantile(0.5)
+        assert result.disk_accesses > 0
+
+    def test_small_residual_threshold(self, rng):
+        """A tiny residual threshold forces deeper narrowing."""
+        engine, oracle = build(rng, residual_fetch_elems=8)
+        result = engine.quantile(0.5)
+        err = interval_error(oracle, result.value, result.target_rank)
+        assert err <= 1.5 * 0.05 * engine.m_stream + 2
+
+    def test_pure_historical(self, rng):
+        config = EngineConfig(
+            epsilon=0.05, kappa=3, block_elems=16, query_strategy="fetch"
+        )
+        engine = HybridQuantileEngine(config=config)
+        oracle = ExactQuantiles()
+        for _ in range(4):
+            data = rng.integers(0, 10**6, 1500)
+            oracle.update_batch(data)
+            engine.stream_update_batch(data)
+            engine.end_time_step()
+        result = engine.quantile(0.5)
+        err = interval_error(oracle, result.value, result.target_rank)
+        assert err <= 2
+
+    def test_windows_work_with_fetch(self, rng):
+        engine, _ = build(rng)
+        window = engine.available_window_sizes()[0]
+        result = engine.quantile(0.5, window_steps=window)
+        assert result.window_steps == window

@@ -1,0 +1,88 @@
+"""Tests for the memory budget model."""
+
+import pytest
+
+from repro.core import MemoryBudget, epsilon_for_budget
+from repro.core.memory import (
+    WORDS_PER_MB,
+    epsilon1_for_historical_words,
+    epsilon2_for_stream_words,
+    gk_tuple_estimate,
+    historical_summary_words,
+    stream_summary_words,
+)
+
+
+class TestModels:
+    def test_gk_tuple_estimate_decreases_with_epsilon(self):
+        assert gk_tuple_estimate(0.01, 10**6) > gk_tuple_estimate(0.1, 10**6)
+
+    def test_gk_tuple_estimate_validation(self):
+        with pytest.raises(ValueError):
+            gk_tuple_estimate(0.0, 100)
+
+    def test_stream_words_monotone(self):
+        assert stream_summary_words(0.001, 10**6) > stream_summary_words(
+            0.01, 10**6
+        )
+
+    def test_historical_words_formula(self):
+        # beta1 = 11, kappa = 10, T = 100 -> 1 level? no: log_10(100) = 2
+        words = historical_summary_words(0.1, kappa=10, num_steps=100)
+        assert words == 2 * 11 * 10 * 2
+
+    def test_inversion_roundtrip_stream(self):
+        target = 50_000.0
+        eps = epsilon2_for_stream_words(target, stream_size=10**6)
+        achieved = stream_summary_words(eps, 10**6)
+        assert achieved == pytest.approx(target, rel=0.01)
+
+    def test_inversion_roundtrip_historical(self):
+        target = 80_000.0
+        eps = epsilon1_for_historical_words(target, kappa=10, num_steps=100)
+        achieved = historical_summary_words(eps, 10, 100)
+        assert achieved == pytest.approx(target, rel=0.05)
+
+    def test_inversion_validates_tiny_budget(self):
+        with pytest.raises(ValueError):
+            epsilon2_for_stream_words(1.0, 100)
+
+
+class TestMemoryBudget:
+    def test_from_megabytes(self):
+        budget = MemoryBudget.from_megabytes(1.0)
+        assert budget.total_words == WORDS_PER_MB
+
+    def test_default_split_is_half(self):
+        budget = MemoryBudget(total_words=1000)
+        assert budget.stream_words == 500
+        assert budget.historical_words == 500
+
+    def test_custom_split(self):
+        budget = MemoryBudget(total_words=1000, stream_fraction=0.8)
+        assert budget.stream_words == pytest.approx(800)
+        assert budget.historical_words == pytest.approx(200)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryBudget(total_words=0)
+        with pytest.raises(ValueError):
+            MemoryBudget(total_words=100, stream_fraction=0.0)
+        with pytest.raises(ValueError):
+            MemoryBudget(total_words=100, stream_fraction=1.0)
+
+    def test_more_memory_means_smaller_epsilon(self):
+        small = MemoryBudget.from_megabytes(0.1)
+        large = MemoryBudget.from_megabytes(1.0)
+        eps_small = epsilon_for_budget(small, 10**6, 10, 100)
+        eps_large = epsilon_for_budget(large, 10**6, 10, 100)
+        assert eps_large < eps_small
+
+    def test_epsilons_fit_budget(self):
+        budget = MemoryBudget.from_megabytes(0.5)
+        eps1, eps2 = budget.epsilons(10**6, kappa=10, num_steps=100)
+        assert stream_summary_words(eps2, 10**6) <= budget.stream_words * 1.01
+        assert (
+            historical_summary_words(eps1, 10, 100)
+            <= budget.historical_words * 1.05
+        )

@@ -1,0 +1,91 @@
+"""Tests for the extensions: batched quantiles and parallel latency."""
+
+import numpy as np
+
+from repro import ExactQuantiles, HybridQuantileEngine
+
+from ..conftest import fill_engine
+
+PHIS = (0.1, 0.25, 0.5, 0.75, 0.9)
+
+
+def build(rng, **kwargs):
+    engine = HybridQuantileEngine(
+        epsilon=0.02, kappa=3, block_elems=16, **kwargs
+    )
+    data = fill_engine(engine, rng, steps=8, batch=3000, live=3000)
+    oracle = ExactQuantiles()
+    oracle.update_batch(data)
+    return engine, oracle
+
+
+class TestBatchedQuantiles:
+    def test_same_answers_as_individual(self, rng):
+        engine, _ = build(rng)
+        batch_results = engine.quantiles(PHIS)
+        for phi, result in zip(PHIS, batch_results):
+            assert result.value == engine.quantile(phi).value
+
+    def test_batch_never_dearer_than_individual(self, rng):
+        engine, _ = build(rng)
+        batch_io = sum(r.disk_accesses for r in engine.quantiles(PHIS))
+        individual_io = sum(
+            engine.quantile(phi).disk_accesses for phi in PHIS
+        )
+        assert batch_io <= individual_io
+
+    def test_overlapping_targets_share_blocks(self, rng):
+        """Queries for nearby ranks reuse each other's blocks."""
+        engine, _ = build(rng)
+        nearby = (0.500, 0.5001, 0.5002, 0.5003)
+        results = engine.quantiles(nearby)
+        first = results[0].disk_accesses
+        rest = sum(r.disk_accesses for r in results[1:])
+        assert rest < first  # later searches ride the shared cache
+
+    def test_batch_accuracy(self, rng):
+        engine, oracle = build(rng)
+        for result in engine.quantiles(PHIS):
+            high = oracle.rank(result.value)
+            low = oracle.rank_strict(result.value) + 1
+            err = max(0, low - result.target_rank, result.target_rank - high)
+            assert err <= 1.5 * 0.02 * engine.m_stream + 2
+
+    def test_batch_window(self, rng):
+        engine, _ = build(rng)
+        window = engine.available_window_sizes()[0]
+        results = engine.quantiles((0.5,), window_steps=window)
+        assert results[0].window_steps == window
+
+
+class TestParallelLatency:
+    def test_parallel_never_slower_than_serial(self, rng):
+        engine, _ = build(rng)
+        result = engine.quantile(0.5)
+        assert result.parallel_sim_seconds <= result.sim_seconds + 1e-12
+
+    def test_parallel_positive_when_disk_touched(self, rng):
+        engine, _ = build(rng)
+        result = engine.quantile(0.5)
+        if result.disk_accesses > 0:
+            assert result.parallel_sim_seconds > 0
+
+    def test_quick_mode_has_zero_parallel_cost(self, rng):
+        engine, _ = build(rng)
+        assert engine.quantile(0.5, mode="quick").parallel_sim_seconds == 0
+
+    def test_parallel_speedup_with_many_partitions(self):
+        """With several partitions the critical path is much shorter
+        than the serial sum."""
+        engine = HybridQuantileEngine(epsilon=0.02, kappa=12, block_elems=16)
+        rng = np.random.default_rng(31)
+        for _ in range(12):  # 12 level-0 partitions, no merges yet
+            engine.stream_update_batch(rng.integers(0, 10**6, 3000))
+            engine.end_time_step()
+        engine.stream_update_batch(rng.integers(0, 10**6, 3000))
+        result = engine.quantile(0.5)
+        serial = result.disk_accesses
+        parallel_blocks = result.parallel_sim_seconds / (
+            engine.disk.latency.seconds_per_random_block
+        )
+        assert parallel_blocks <= serial / 2

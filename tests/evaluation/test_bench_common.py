@@ -1,0 +1,55 @@
+"""Tests for the benchmark harness's shared sizing helpers."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "benchmarks"))
+
+import common  # noqa: E402  (benchmarks/common.py)
+
+
+class TestScaleMapping:
+    def test_accuracy_scale_shape(self):
+        scale = common.accuracy_scale()
+        assert scale.steps == 30
+        assert scale.batch >= 1000
+        assert scale.blocks_per_batch == -(-scale.batch // scale.block_elems)
+
+    def test_io_scale_matches_paper_ratio(self):
+        scale = common.io_scale()
+        # 1 GB batches over 100 KB blocks = 10^4 blocks per batch
+        assert scale.blocks_per_batch == 10_000 * common.SCALE or (
+            common.SCALE != 1.0
+        )
+        assert scale.steps == 100
+
+    def test_memory_words_proportions(self):
+        scale = common.accuracy_scale()
+        w100 = common.memory_words(100, scale)
+        w500 = common.memory_words(500, scale)
+        assert w500 == 5 * w100
+        # 100 MB of 1 GB = 10% of the batch, in words
+        assert w100 == int(0.1 * scale.batch)
+
+    def test_all_workloads_panel_order(self):
+        names = [w.name for w in common.all_workloads()]
+        assert names == ["uniform", "normal", "wikipedia", "network"]
+
+
+class TestEngineFactories:
+    def test_hybrid_engine_budgeted(self):
+        scale = common.accuracy_scale()
+        engine = common.hybrid_engine(8000, scale, kappa=5)
+        assert engine.config.kappa == 5
+        assert 0 < engine.config.epsilon2 < engine.config.epsilon1
+
+    def test_gk_engine_kind(self):
+        scale = common.accuracy_scale()
+        engine = common.gk_engine(8000, scale)
+        assert engine.kind == "gk"
+        assert 0 < engine.epsilon < 0.5
+
+    def test_qdigest_engine_kind(self):
+        scale = common.accuracy_scale()
+        engine = common.qdigest_engine(8000, scale, universe_log2=30)
+        assert engine.kind == "qdigest"

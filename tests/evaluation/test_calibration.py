@@ -1,0 +1,30 @@
+"""Tests pinning the memory models to measured sketch footprints.
+
+If these bands break, a sketch implementation change has shifted its
+memory footprint and the models in ``repro.core.memory`` (which size
+every benchmark contender) must be re-fit — see
+``repro.evaluation.calibration``.
+"""
+
+from repro.evaluation.calibration import calibrate_gk, calibrate_qdigest
+
+
+class TestGKCalibration:
+    def test_model_within_band(self):
+        for point in calibrate_gk(
+            epsilons=(0.02, 0.005), sizes=(50_000, 300_000)
+        ):
+            assert 0.7 <= point.ratio <= 2.0, point
+
+    def test_model_never_wildly_small(self):
+        """Under-modelling would hand the baseline extra memory."""
+        for point in calibrate_gk(epsilons=(0.01,), sizes=(100_000,)):
+            assert point.ratio >= 0.6, point
+
+
+class TestQDigestCalibration:
+    def test_model_within_band(self):
+        for point in calibrate_qdigest(
+            epsilons=(0.02, 0.005), sizes=(50_000, 300_000)
+        ):
+            assert 0.6 <= point.ratio <= 1.6, point

@@ -1,0 +1,55 @@
+"""Tests for the theoretical-bound formulas."""
+
+import pytest
+
+from repro.evaluation import (
+    accurate_relative_error_bound,
+    memory_words_bound,
+    query_disk_accesses_bound,
+    quick_relative_error_bound,
+    section_2_4_example,
+    update_disk_accesses_bound,
+)
+
+
+class TestBounds:
+    def test_accurate_bound_shrinks_with_history(self):
+        small = accurate_relative_error_bound(0.01, 10**6, 0.5, 10**7)
+        large = accurate_relative_error_bound(0.01, 10**6, 0.5, 10**8)
+        assert large < small
+
+    def test_accurate_bound_linear_in_stream(self):
+        a = accurate_relative_error_bound(0.01, 10**5, 0.5, 10**8)
+        b = accurate_relative_error_bound(0.01, 2 * 10**5, 0.5, 10**8)
+        assert b == pytest.approx(2 * a)
+
+    def test_accurate_bound_validation(self):
+        with pytest.raises(ValueError):
+            accurate_relative_error_bound(0.01, 10, 0.5, 0)
+
+    def test_quick_bound_constant_in_n(self):
+        assert quick_relative_error_bound(0.01, 0.5) == pytest.approx(0.03)
+
+    def test_memory_bound_decreases_with_epsilon(self):
+        assert memory_words_bound(0.01, 10**6, 10, 100) > memory_words_bound(
+            0.1, 10**6, 10, 100
+        )
+
+    def test_update_bound_amortizes_over_steps(self):
+        few = update_disk_accesses_bound(10**8, 10**4, 10, 10)
+        many = update_disk_accesses_bound(10**8, 10**4, 10, 1000)
+        assert many < few
+
+    def test_query_bound_grows_with_history(self):
+        small = query_disk_accesses_bound(10**7, 10**4, 10, 100, 30)
+        large = query_disk_accesses_bound(10**9, 10**4, 10, 100, 30)
+        assert large > small
+
+
+class TestWorkedExample:
+    def test_section_2_4_magnitudes(self):
+        """Paper: ~10^6 accesses/day (~1000 s), a few hundred per query."""
+        example = section_2_4_example()
+        assert 10**5 < example.update_accesses_per_day < 10**7
+        assert 100 < example.update_seconds_per_day < 10_000
+        assert 50 < example.query_accesses < 5000

@@ -1,0 +1,103 @@
+"""Tests for whole-engine checkpoints."""
+
+import numpy as np
+import pytest
+
+from repro import ExactQuantiles, HybridQuantileEngine
+from repro.persistence import PersistenceError, load_engine, save_engine
+
+
+def build_engine(seed=0, steps=6, batch=1500, live=800):
+    engine = HybridQuantileEngine(epsilon=0.05, kappa=3, block_elems=16)
+    rng = np.random.default_rng(seed)
+    chunks = []
+    for _ in range(steps):
+        data = rng.integers(0, 10**6, batch)
+        chunks.append(data)
+        engine.stream_update_batch(data)
+        engine.end_time_step()
+    live_data = rng.integers(0, 10**6, live)
+    chunks.append(live_data)
+    engine.stream_update_batch(live_data)
+    return engine, np.concatenate(chunks)
+
+
+class TestCheckpoint:
+    def test_identical_query_answers(self, tmp_path):
+        engine, _ = build_engine()
+        save_engine(engine, tmp_path)
+        restored = load_engine(tmp_path)
+        for phi in (0.1, 0.5, 0.9):
+            for mode in ("quick", "accurate"):
+                assert (
+                    restored.quantile(phi, mode=mode).value
+                    == engine.quantile(phi, mode=mode).value
+                )
+
+    def test_state_counters(self, tmp_path):
+        engine, _ = build_engine()
+        save_engine(engine, tmp_path)
+        restored = load_engine(tmp_path)
+        assert restored.n_historical == engine.n_historical
+        assert restored.m_stream == engine.m_stream
+        assert restored.steps_loaded == engine.steps_loaded
+        assert restored.config == engine.config
+        restored.check_invariants()
+
+    def test_restored_engine_continues(self, tmp_path):
+        engine, data = build_engine()
+        save_engine(engine, tmp_path)
+        restored = load_engine(tmp_path)
+        restored.end_time_step()  # archive the restored live buffer
+        extra = np.random.default_rng(5).integers(0, 10**6, 1000)
+        restored.stream_update_batch(extra)
+        oracle = ExactQuantiles()
+        oracle.update_batch(np.concatenate([data, extra]))
+        result = restored.quantile(0.5)
+        high = oracle.rank(result.value)
+        low = oracle.rank_strict(result.value) + 1
+        err = max(0, low - result.target_rank, result.target_rank - high)
+        assert err <= 1.5 * 0.05 * restored.m_stream + 2
+
+    def test_empty_stream_checkpoint(self, tmp_path):
+        engine = HybridQuantileEngine(epsilon=0.05, kappa=3, block_elems=16)
+        engine.stream_update_batch(np.arange(1000))
+        engine.end_time_step()
+        save_engine(engine, tmp_path)
+        restored = load_engine(tmp_path)
+        assert restored.m_stream == 0
+        assert restored.quantile(0.5).value == engine.quantile(0.5).value
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            load_engine(tmp_path / "nope")
+
+    def test_tampered_buffer_detected(self, tmp_path):
+        engine, _ = build_engine()
+        save_engine(engine, tmp_path)
+        np.save(tmp_path / "stream_buffer.npy", np.arange(3))
+        with pytest.raises(PersistenceError):
+            load_engine(tmp_path)
+
+
+class TestCompactionPolicyRestore:
+    def test_leveled_engine_restores_leveled_store(self, tmp_path):
+        from repro import EngineConfig
+        from repro.warehouse import LeveledCompactionStore
+
+        config = EngineConfig(
+            epsilon=0.05, kappa=3, block_elems=16, compaction="leveled"
+        )
+        engine = HybridQuantileEngine(config=config)
+        rng = np.random.default_rng(3)
+        for _ in range(7):
+            engine.stream_update_batch(rng.integers(0, 10**6, 800))
+            engine.end_time_step()
+        save_engine(engine, tmp_path)
+        restored = load_engine(tmp_path)
+        assert isinstance(restored.store, LeveledCompactionStore)
+        # continued ingestion obeys the leveled invariant
+        for _ in range(5):
+            restored.stream_update_batch(rng.integers(0, 10**6, 800))
+            restored.end_time_step()
+        restored.check_invariants()

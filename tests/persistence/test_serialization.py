@@ -1,0 +1,75 @@
+"""Tests for sketch serialization round-trips and failure detection."""
+
+import numpy as np
+import pytest
+
+from repro.persistence import (
+    SerializationError,
+    dump_gk,
+    dump_qdigest,
+    load_gk,
+    load_qdigest,
+)
+from repro.sketches import GKSketch, QDigestSketch
+
+
+def filled_gk(eps=0.01, n=20_000, seed=0):
+    sketch = GKSketch(eps)
+    sketch.update_batch(np.random.default_rng(seed).integers(0, 10**9, n))
+    return sketch
+
+
+def filled_qdigest(eps=0.02, n=20_000, seed=1):
+    sketch = QDigestSketch(eps, universe_log2=20)
+    sketch.update_batch(np.random.default_rng(seed).integers(0, 2**20, n))
+    return sketch
+
+
+class TestGKRoundTrip:
+    def test_identical_answers(self):
+        original = filled_gk()
+        restored = load_gk(dump_gk(original))
+        assert restored.n == original.n
+        assert restored.epsilon == original.epsilon
+        for rank in (1, 5000, 10_000, 15_000, 20_000):
+            assert restored.query_rank(rank) == original.query_rank(rank)
+
+    def test_restored_sketch_keeps_ingesting(self):
+        original = filled_gk()
+        restored = load_gk(dump_gk(original))
+        extra = np.random.default_rng(9).integers(0, 10**9, 5000)
+        original.update_batch(extra)
+        restored.update_batch(extra)
+        assert restored.n == original.n
+        assert restored.query_rank(12_000) == original.query_rank(12_000)
+
+    def test_empty_sketch(self):
+        restored = load_gk(dump_gk(GKSketch(0.1)))
+        assert restored.n == 0
+
+    def test_rejects_garbage(self):
+        with pytest.raises(SerializationError):
+            load_gk(b"not a sketch at all")
+
+    def test_rejects_wrong_format(self):
+        payload = dump_qdigest(filled_qdigest())
+        with pytest.raises(SerializationError):
+            load_gk(payload)
+
+
+class TestQDigestRoundTrip:
+    def test_identical_answers(self):
+        original = filled_qdigest()
+        restored = load_qdigest(dump_qdigest(original))
+        assert restored.n == original.n
+        for rank in (1, 5000, 10_000, 20_000):
+            assert restored.query_rank(rank) == original.query_rank(rank)
+
+    def test_rejects_wrong_format(self):
+        payload = dump_gk(filled_gk())
+        with pytest.raises(SerializationError):
+            load_qdigest(payload)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(SerializationError):
+            load_qdigest(b"\x00" * 64)

@@ -1,0 +1,39 @@
+"""Tests for the sketch base helpers."""
+
+import pytest
+
+from repro.sketches import clamp_rank, rank_for_phi
+
+
+class TestClampRank:
+    def test_in_range(self):
+        assert clamp_rank(5, 10) == 5
+
+    def test_below(self):
+        assert clamp_rank(0, 10) == 1
+        assert clamp_rank(-5, 10) == 1
+
+    def test_above(self):
+        assert clamp_rank(11, 10) == 10
+
+
+class TestRankForPhi:
+    def test_median_of_odd(self):
+        assert rank_for_phi(0.5, 101) == 51
+
+    def test_ceil_semantics(self):
+        # Definition 1: rank target is the smallest integer >= phi * n
+        assert rank_for_phi(0.5, 10) == 5
+        assert rank_for_phi(0.51, 10) == 6
+
+    def test_extremes(self):
+        assert rank_for_phi(1.0, 10) == 10
+        assert rank_for_phi(1e-9, 10) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rank_for_phi(0.0, 10)
+        with pytest.raises(ValueError):
+            rank_for_phi(1.1, 10)
+        with pytest.raises(ValueError):
+            rank_for_phi(0.5, 0)

@@ -1,0 +1,93 @@
+"""Tests for the MRL99 randomized quantile sketch."""
+
+import numpy as np
+import pytest
+
+from repro.sketches.mrl import MRL99Sketch
+
+
+def rank_interval_error(data, value, target):
+    arr = np.sort(np.asarray(data))
+    high = int(np.searchsorted(arr, value, side="right"))
+    low = int(np.searchsorted(arr, value, side="left")) + 1
+    return max(0, low - target, target - high)
+
+
+class TestBasics:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MRL99Sketch(buffer_size=1)
+        with pytest.raises(ValueError):
+            MRL99Sketch(num_buffers=2)
+        with pytest.raises(ValueError):
+            MRL99Sketch.for_epsilon(0.0)
+        with pytest.raises(ValueError):
+            MRL99Sketch.for_epsilon(0.1, delta=1.0)
+
+    def test_empty_query_raises(self):
+        with pytest.raises(ValueError):
+            MRL99Sketch().query_rank(1)
+
+    def test_small_stream_exact(self):
+        sketch = MRL99Sketch(buffer_size=100, num_buffers=4, seed=0)
+        for v in (5, 1, 9, 3):
+            sketch.update(v)
+        assert sketch.query_rank(1) == 1
+        assert sketch.query_rank(4) == 9
+
+    def test_n_counts_all_elements(self):
+        sketch = MRL99Sketch(buffer_size=10, num_buffers=3, seed=0)
+        sketch.update_batch(range(1000))
+        assert sketch.n == 1000
+
+    def test_deterministic_with_seed(self):
+        data = np.random.default_rng(0).integers(0, 10**6, 20_000)
+        a = MRL99Sketch(buffer_size=100, num_buffers=5, seed=7)
+        b = MRL99Sketch(buffer_size=100, num_buffers=5, seed=7)
+        a.update_batch(data)
+        b.update_batch(data)
+        assert a.query_rank(10_000) == b.query_rank(10_000)
+
+    def test_buffer_count_bounded(self):
+        sketch = MRL99Sketch(buffer_size=50, num_buffers=5, seed=1)
+        sketch.update_batch(np.random.default_rng(1).integers(0, 100, 50_000))
+        assert len(sketch._buffers) < 5
+
+    def test_memory_sublinear(self):
+        sketch = MRL99Sketch.for_epsilon(0.01, seed=2)
+        sketch.update_batch(
+            np.random.default_rng(2).integers(0, 10**9, 100_000)
+        )
+        assert sketch.memory_words() < 100_000 / 10
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("seed", [3, 4, 5])
+    def test_uniform_stream(self, seed):
+        epsilon = 0.05
+        sketch = MRL99Sketch.for_epsilon(epsilon, seed=seed)
+        data = np.random.default_rng(seed).integers(0, 10**9, 50_000)
+        sketch.update_batch(data)
+        n = len(data)
+        for target in (1, n // 4, n // 2, 3 * n // 4, n):
+            value = sketch.query_rank(target)
+            err = rank_interval_error(data, value, target)
+            # 3x slack over the w.h.p. bound keeps flake risk tiny
+            assert err <= 3 * epsilon * n, (target, err)
+
+    def test_sorted_stream(self):
+        epsilon = 0.05
+        sketch = MRL99Sketch.for_epsilon(epsilon, seed=6)
+        data = np.arange(50_000)
+        sketch.update_batch(data)
+        for target in (1, 12_500, 25_000, 37_500, 50_000):
+            value = sketch.query_rank(target)
+            err = rank_interval_error(data, value, target)
+            assert err <= 3 * epsilon * len(data)
+
+    def test_duplicate_heavy_stream(self):
+        sketch = MRL99Sketch.for_epsilon(0.05, seed=8)
+        data = np.random.default_rng(8).integers(0, 20, 30_000)
+        sketch.update_batch(data)
+        value = sketch.query_rank(15_000)
+        assert rank_interval_error(data, value, 15_000) <= 3 * 0.05 * 30_000

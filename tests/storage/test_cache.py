@@ -1,0 +1,42 @@
+"""Tests for the per-query block cache."""
+
+from repro.storage import BlockCache, SimulatedDisk
+
+
+class TestBlockCache:
+    def test_first_touch_charges(self):
+        disk = SimulatedDisk()
+        cache = BlockCache(disk)
+        cache.touch(1, 0)
+        assert disk.stats.counters.random_reads == 1
+        assert cache.blocks_charged == 1
+
+    def test_repeat_touch_free(self):
+        disk = SimulatedDisk()
+        cache = BlockCache(disk)
+        cache.touch(1, 0)
+        cache.touch(1, 0)
+        assert disk.stats.counters.random_reads == 1
+
+    def test_distinct_runs_charged_separately(self):
+        disk = SimulatedDisk()
+        cache = BlockCache(disk)
+        cache.touch(1, 0)
+        cache.touch(2, 0)
+        assert disk.stats.counters.random_reads == 2
+
+    def test_disabled_cache_charges_every_touch(self):
+        disk = SimulatedDisk()
+        cache = BlockCache(disk, enabled=False)
+        cache.touch(1, 0)
+        cache.touch(1, 0)
+        cache.touch(1, 0)
+        assert disk.stats.counters.random_reads == 3
+
+    def test_touch_range(self):
+        disk = SimulatedDisk()
+        cache = BlockCache(disk)
+        cache.touch_range(1, 2, 5)
+        assert disk.stats.counters.random_reads == 4
+        cache.touch_range(1, 4, 6)  # 4, 5 already cached
+        assert disk.stats.counters.random_reads == 5

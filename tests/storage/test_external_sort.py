@@ -1,0 +1,103 @@
+"""Tests for the external sorter and multi-way merge."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import ExternalSorter, SimulatedDisk, SortedRun, merge_runs
+
+
+class TestExternalSorter:
+    def test_sorts_correctly(self):
+        disk = SimulatedDisk(block_elems=4)
+        sorter = ExternalSorter(disk)
+        run = sorter.sort(np.asarray([5, 1, 9, 3]))
+        np.testing.assert_array_equal(run.values, [1, 3, 5, 9])
+
+    def test_in_memory_sort_charges_output_write_only(self):
+        disk = SimulatedDisk(block_elems=4)
+        sorter = ExternalSorter(disk, memory_elems=100)
+        sorter.sort(np.arange(40)[::-1])
+        assert disk.stats.counters.sequential_writes == 10
+        assert disk.stats.counters.sequential_reads == 0
+
+    def test_passes_needed_zero_when_fits(self):
+        disk = SimulatedDisk()
+        sorter = ExternalSorter(disk, memory_elems=1000)
+        assert sorter.passes_needed(1000) == 0
+
+    def test_passes_needed_counts_merge_levels(self):
+        disk = SimulatedDisk()
+        sorter = ExternalSorter(disk, memory_elems=10, fan_in=4)
+        # 100 elems -> 10 runs -> ceil(log4 10)=2 merge levels + formation
+        assert sorter.passes_needed(100) == 3
+
+    def test_oversized_batch_charges_passes(self):
+        disk = SimulatedDisk(block_elems=10)
+        sorter = ExternalSorter(disk, memory_elems=50, fan_in=64)
+        sorter.sort(np.arange(100)[::-1])
+        # 2 passes (formation + 1 merge level) read+write 10 blocks each,
+        # plus the final output write of 10 blocks.
+        assert disk.stats.counters.sequential_reads == 20
+        assert disk.stats.counters.sequential_writes == 30
+
+    def test_rejects_bad_params(self):
+        disk = SimulatedDisk()
+        with pytest.raises(ValueError):
+            ExternalSorter(disk, memory_elems=0)
+        with pytest.raises(ValueError):
+            ExternalSorter(disk, fan_in=1)
+
+
+class TestMergeRuns:
+    def test_merges_sorted(self):
+        disk = SimulatedDisk(block_elems=4)
+        a = SortedRun(disk, np.asarray([1, 4, 7]))
+        b = SortedRun(disk, np.asarray([2, 4, 9]))
+        merged = merge_runs(disk, [a, b])
+        np.testing.assert_array_equal(merged.values, [1, 2, 4, 4, 7, 9])
+
+    def test_merge_charges_one_pass(self):
+        disk = SimulatedDisk(block_elems=4)
+        a = SortedRun(disk, np.arange(16))
+        b = SortedRun(disk, np.arange(16))
+        before = disk.stats.counters.snapshot()
+        merge_runs(disk, [a, b])
+        delta = disk.stats.counters.delta_since(before)
+        assert delta.sequential_reads == 8   # read both inputs
+        assert delta.sequential_writes == 8  # write the merged output
+
+    def test_merge_empty_list_rejected(self):
+        disk = SimulatedDisk()
+        with pytest.raises(ValueError):
+            merge_runs(disk, [])
+
+    def test_merge_with_empty_run(self):
+        disk = SimulatedDisk(block_elems=4)
+        a = SortedRun(disk, np.asarray([3, 5]))
+        b = SortedRun(disk, np.empty(0, dtype=np.int64))
+        merged = merge_runs(disk, [a, b])
+        np.testing.assert_array_equal(merged.values, [3, 5])
+
+    @given(
+        chunks=st.lists(
+            st.lists(st.integers(-100, 100), max_size=30),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_merge_equals_global_sort(self, chunks):
+        disk = SimulatedDisk(block_elems=3)
+        runs = [
+            SortedRun(disk, np.sort(np.asarray(c, dtype=np.int64)))
+            for c in chunks
+        ]
+        merged = merge_runs(disk, runs)
+        expected = np.sort(
+            np.concatenate(
+                [np.asarray(c, dtype=np.int64) for c in chunks]
+            )
+        )
+        np.testing.assert_array_equal(merged.values, expected)

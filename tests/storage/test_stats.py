@@ -1,0 +1,96 @@
+"""Unit tests for I/O counters and the latency model."""
+
+import pytest
+
+from repro.storage.stats import DiskLatencyModel, DiskStats, IoCounters
+
+
+class TestIoCounters:
+    def test_starts_at_zero(self):
+        counters = IoCounters()
+        assert counters.total == 0
+        assert counters.sequential == 0
+        assert counters.random_reads == 0
+
+    def test_total_sums_all_kinds(self):
+        counters = IoCounters(
+            sequential_reads=3, sequential_writes=4, random_reads=5
+        )
+        assert counters.total == 12
+        assert counters.sequential == 7
+
+    def test_add_accumulates(self):
+        a = IoCounters(sequential_reads=1, sequential_writes=2, random_reads=3)
+        b = IoCounters(sequential_reads=10, sequential_writes=20, random_reads=30)
+        a.add(b)
+        assert a.sequential_reads == 11
+        assert a.sequential_writes == 22
+        assert a.random_reads == 33
+
+    def test_snapshot_is_independent(self):
+        a = IoCounters(sequential_reads=1)
+        snap = a.snapshot()
+        a.sequential_reads = 99
+        assert snap.sequential_reads == 1
+
+    def test_delta_since(self):
+        a = IoCounters(sequential_reads=5, random_reads=2)
+        snap = a.snapshot()
+        a.sequential_reads += 3
+        a.random_reads += 1
+        delta = a.delta_since(snap)
+        assert delta.sequential_reads == 3
+        assert delta.random_reads == 1
+        assert delta.sequential_writes == 0
+
+    def test_reset(self):
+        a = IoCounters(sequential_reads=5, sequential_writes=6, random_reads=7)
+        a.reset()
+        assert a.total == 0
+
+
+class TestDiskLatencyModel:
+    def test_seconds_weights_random_more(self):
+        model = DiskLatencyModel(
+            seconds_per_sequential_block=0.1, seconds_per_random_block=1.0
+        )
+        counters = IoCounters(
+            sequential_reads=2, sequential_writes=3, random_reads=4
+        )
+        assert model.seconds(counters) == pytest.approx(0.5 + 4.0)
+
+    def test_default_matches_paper_assumption(self):
+        # Section 2.4 assumes 1 block per millisecond for random access.
+        model = DiskLatencyModel()
+        assert model.seconds_per_random_block == pytest.approx(1e-3)
+
+
+class TestDiskStats:
+    def test_phase_buckets(self):
+        stats = DiskStats()
+        stats.set_phase("load")
+        stats.record_sequential_write(5)
+        stats.set_phase("merge")
+        stats.record_sequential_read(3)
+        stats.record_sequential_write(3)
+        stats.set_phase("query")
+        stats.record_random_read(2)
+        assert stats.load.sequential_writes == 5
+        assert stats.merge.sequential == 6
+        assert stats.query.random_reads == 2
+        assert stats.counters.total == 13
+
+    def test_unknown_phase_rejected(self):
+        stats = DiskStats()
+        with pytest.raises(ValueError):
+            stats.set_phase("banana")
+
+    def test_totals_track_all_phases(self):
+        stats = DiskStats()
+        stats.set_phase("sort")
+        stats.record_sequential_read(7)
+        stats.set_phase("load")
+        stats.record_sequential_write(1)
+        assert stats.counters.sequential_reads == 7
+        assert stats.counters.sequential_writes == 1
+        assert stats.sort.sequential_reads == 7

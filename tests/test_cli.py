@@ -1,0 +1,124 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestInit:
+    def test_creates_warehouse(self, tmp_path, capsys):
+        code, out, _ = run(capsys, "init", str(tmp_path / "wh"),
+                           "--epsilon", "0.01")
+        assert code == 0
+        assert "initialized" in out
+        assert (tmp_path / "wh" / "engine.json").exists()
+
+    def test_refuses_overwrite(self, tmp_path, capsys):
+        run(capsys, "init", str(tmp_path / "wh"))
+        code, _, err = run(capsys, "init", str(tmp_path / "wh"))
+        assert code == 1
+        assert "already" in err
+
+    def test_force_overwrites(self, tmp_path, capsys):
+        run(capsys, "init", str(tmp_path / "wh"))
+        code, *_ = run(capsys, "init", str(tmp_path / "wh"), "--force")
+        assert code == 0
+
+
+class TestIngestAndQuery:
+    @pytest.fixture
+    def warehouse(self, tmp_path, capsys):
+        path = tmp_path / "wh"
+        run(capsys, "init", str(path), "--epsilon", "0.02",
+            "--kappa", "3", "--block-elems", "16")
+        return path
+
+    def _ingest(self, capsys, warehouse, tmp_path, data, name, archive):
+        source = tmp_path / name
+        np.save(source, np.asarray(data, dtype=np.int64))
+        argv = ["ingest", str(warehouse), str(source) + ""]
+        # np.save appends .npy
+        argv[2] = str(source) + ".npy"
+        if archive:
+            argv.append("--archive")
+        return run(capsys, *argv)
+
+    def test_ingest_npy(self, warehouse, tmp_path, capsys):
+        code, out, _ = self._ingest(
+            capsys, warehouse, tmp_path, range(1000), "batch", archive=True
+        )
+        assert code == 0
+        assert "streamed 1,000" in out
+        assert "archived step 1" in out
+
+    def test_ingest_text_file(self, warehouse, tmp_path, capsys):
+        source = tmp_path / "values.txt"
+        source.write_text("5 3 9\n7 1\n")
+        code, out, _ = run(capsys, "ingest", str(warehouse), str(source))
+        assert code == 0
+        assert "streamed 5" in out
+
+    def test_query_median(self, warehouse, tmp_path, capsys):
+        self._ingest(capsys, warehouse, tmp_path,
+                     range(1, 1002), "batch", archive=True)
+        self._ingest(capsys, warehouse, tmp_path,
+                     range(1, 1002), "live", archive=False)
+        code, out, _ = run(capsys, "query", str(warehouse), "--phi", "0.5")
+        assert code == 0
+        lines = out.strip().splitlines()
+        value = int(lines[-1].split()[1].replace(",", ""))
+        assert abs(value - 501) <= 0.02 * 1001 * 2 + 2
+
+    def test_query_quick_mode(self, warehouse, tmp_path, capsys):
+        self._ingest(capsys, warehouse, tmp_path,
+                     range(1000), "batch", archive=True)
+        code, out, _ = run(capsys, "query", str(warehouse),
+                           "--phi", "0.5", "--mode", "quick")
+        assert code == 0
+
+    def test_query_empty_warehouse(self, warehouse, capsys):
+        code, _, err = run(capsys, "query", str(warehouse))
+        assert code == 1
+        assert "empty" in err
+
+    def test_status(self, warehouse, tmp_path, capsys):
+        self._ingest(capsys, warehouse, tmp_path,
+                     range(1000), "batch", archive=True)
+        code, out, _ = run(capsys, "status", str(warehouse))
+        assert code == 0
+        assert "historical elems : 1,000" in out
+        assert "L0[1-1]" in out
+
+    def test_state_persists_across_invocations(self, warehouse, tmp_path,
+                                               capsys):
+        for step in range(4):
+            self._ingest(capsys, warehouse, tmp_path,
+                         range(step * 100, step * 100 + 500),
+                         f"b{step}", archive=True)
+        code, out, _ = run(capsys, "status", str(warehouse))
+        assert "4 steps" in out
+
+    def test_missing_warehouse(self, tmp_path, capsys):
+        code, _, err = run(capsys, "query", str(tmp_path / "missing"))
+        assert code == 1
+        assert "error" in err
+
+    def test_missing_source_file(self, warehouse, capsys):
+        code, _, err = run(capsys, "ingest", str(warehouse), "nope.npy")
+        assert code == 1
+
+
+class TestDemo:
+    def test_demo_runs(self, capsys):
+        code, out, _ = run(capsys, "demo", "--steps", "3",
+                           "--batch", "2000", "--epsilon", "0.05")
+        assert code == 0
+        assert "phi=0.5" in out
+        assert "memory:" in out

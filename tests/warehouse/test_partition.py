@@ -1,0 +1,31 @@
+"""Tests for the Partition dataclass."""
+
+import numpy as np
+
+from repro.storage import SimulatedDisk, SortedRun
+from repro.warehouse import Partition
+
+
+def make_partition(start=3, end=5, size=10):
+    disk = SimulatedDisk(block_elems=4)
+    run = SortedRun(disk, np.arange(size))
+    return Partition(level=1, start_step=start, end_step=end, run=run)
+
+
+class TestPartition:
+    def test_len(self):
+        assert len(make_partition(size=10)) == 10
+
+    def test_num_steps(self):
+        assert make_partition(3, 5).num_steps == 3
+        assert make_partition(7, 7).num_steps == 1
+
+    def test_covers(self):
+        p = make_partition(3, 5)
+        assert p.covers(3)
+        assert p.covers(5)
+        assert not p.covers(2)
+        assert not p.covers(6)
+
+    def test_summary_defaults_none(self):
+        assert make_partition().summary is None
