@@ -9,8 +9,21 @@ long the simulation took.
 import sys
 from pathlib import Path
 
+import pytest
+
 # Make `import common` work no matter where pytest is invoked from.
 sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+
+def pytest_collection_modifyitems(items):
+    """Every benchmark is benchmark-adjacent by definition: mark slow.
+
+    Lets one invocation cover both suites while keeping the quick
+    signal quick: ``pytest tests/ benchmarks/ -m "not slow"`` runs only
+    tier-1, and ``-m slow`` selects the figure/ablation regenerators.
+    """
+    for item in items:
+        item.add_marker(pytest.mark.slow)
 
 
 def run_once(benchmark, fn):

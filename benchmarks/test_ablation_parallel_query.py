@@ -1,12 +1,25 @@
-"""Ablation A4: parallel partition reads (paper Section 4, future work).
+"""Ablation A4: parallel partition reads (paper Section 4, implemented).
 
 "During query processing on historical data, different disk partitions
 can be processed in parallel, leading to a lower latency by
-overlapping different disk reads."  The engine tracks each query's
-per-partition read chains; this ablation compares the serial latency
-(all reads sequential) against the parallel critical path (max chain),
-as a function of kappa — more partitions means more overlap to win.
+overlapping different disk reads."  The engine executes this through
+``repro.query``: with ``query_workers > 1`` the accurate response fans
+its per-partition rank searches out over a thread pool.  This ablation
+reports, per kappa:
+
+* the *modeled* speedup — serial simulated latency (every block read
+  paid in sequence) over the parallel critical path (deepest
+  single-partition chain), the paper's 1 ms/random-block model;
+* the *realized* speedup — measured wall-clock of the same accurate
+  queries executed serially vs. on the thread pool.
+
+The modeled number is what a disk-bound deployment gains; the realized
+number on the simulated (in-memory) disk is GIL- and handoff-bound and
+is reported to keep the model honest rather than to win.  More
+partitions (larger kappa) means more overlap for both.
 """
+
+import time
 
 from common import (
     accuracy_scale,
@@ -19,6 +32,25 @@ from repro.evaluation import ExperimentRunner
 from repro.workloads import UniformWorkload
 
 KAPPAS = (3, 10, 20)
+PHIS = (0.1, 0.25, 0.5, 0.75, 0.9)
+WALL_REPEATS = 5
+# Sized to cover the per-kappa partition fan-out, not the core count:
+# probe threads overlap (simulated) I/O waits, so more threads than
+# cores is the realistic deployment shape.
+WORKERS = 8
+
+
+def measured_wall_seconds(engine, workers: int) -> float:
+    """Mean wall-clock of one accurate query pass at ``workers``."""
+    engine.set_query_workers(workers)
+    # Warm-up pass: the first parallel query pays thread-pool creation.
+    for phi in PHIS:
+        engine.quantile(phi)
+    started = time.perf_counter()
+    for _ in range(WALL_REPEATS):
+        for phi in PHIS:
+            engine.quantile(phi)
+    return (time.perf_counter() - started) / (WALL_REPEATS * len(PHIS))
 
 
 def sweep():
@@ -33,33 +65,49 @@ def sweep():
             batch_elems=scale.batch,
             keep_oracle=False,
         )
-        result = runner.run(
-            {"ours": engine}, phis=(0.1, 0.25, 0.5, 0.75, 0.9)
-        )
+        result = runner.run({"ours": engine}, phis=PHIS)
         queries = [q.result for q in result["ours"].queries]
         serial = sum(q.sim_seconds for q in queries) / len(queries)
         parallel = sum(q.parallel_sim_seconds for q in queries) / len(queries)
         partitions = engine.store.partition_count()
-        speedup = serial / parallel if parallel else 1.0
-        rows.append([kappa, partitions, serial, parallel, speedup])
+        modeled_speedup = serial / parallel if parallel else 1.0
+        wall_serial = measured_wall_seconds(engine, workers=1)
+        wall_parallel = measured_wall_seconds(engine, workers=WORKERS)
+        engine.close()
+        realized_speedup = (
+            wall_serial / wall_parallel if wall_parallel else 1.0
+        )
+        rows.append([
+            kappa, partitions, serial, parallel, modeled_speedup,
+            wall_serial, wall_parallel, realized_speedup,
+        ])
     return rows
 
 
 def test_ablation_parallel_query(benchmark):
     rows = run_once(benchmark, sweep)
     show(
-        "Ablation A4: serial vs parallel query latency "
-        "(Uniform, 250 paper-MB)",
-        ["kappa", "partitions", "serial s", "parallel s", "speedup"],
+        "Ablation A4: modeled vs realized parallel query speedup "
+        f"(Uniform, 250 paper-MB, {WORKERS} workers)",
+        [
+            "kappa", "partitions", "serial s", "parallel s", "modeled x",
+            "wall serial s", "wall parallel s", "realized x",
+        ],
         rows,
     )
-    for kappa, partitions, serial, parallel, speedup in rows:
+    for row in rows:
+        kappa, partitions, serial, parallel, modeled = row[:5]
+        wall_serial, wall_parallel, realized = row[5:]
         assert parallel <= serial + 1e-12
-        # With more than one partition, parallel reads must win.
+        # With more than one partition, overlapped reads must win in
+        # the latency model.
         if partitions > 1:
-            assert speedup > 1.0
-    # Overlapping partition reads buys a substantial latency win
-    # somewhere in the sweep (the paper's motivation for the parallel
-    # direction).  The exact speedup-vs-kappa relationship depends on
-    # per-partition chain depths, so no monotonicity is asserted.
+            assert modeled > 1.0
+        # The realized measurement must be a sane, positive timing.
+        assert wall_serial > 0 and wall_parallel > 0 and realized > 0
+    # Overlapping partition reads buys a substantial modeled latency
+    # win somewhere in the sweep (the paper's motivation).  The exact
+    # speedup-vs-kappa relationship depends on per-partition chain
+    # depths, so no monotonicity is asserted; the realized (GIL-bound)
+    # speedup is reported, not asserted.
     assert max(row[4] for row in rows) >= 2.0

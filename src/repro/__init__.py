@@ -31,6 +31,7 @@ from .core import (
     WindowNotAlignedError,
     epsilon_for_budget,
 )
+from .query import QueryExecutor, QueryPlanner
 from .sketches import (
     ExactQuantiles,
     GKSketch,
@@ -63,6 +64,8 @@ __all__ = [
     "StepReport",
     "WindowNotAlignedError",
     "epsilon_for_budget",
+    "QueryExecutor",
+    "QueryPlanner",
     "ExactQuantiles",
     "GKSketch",
     "MRL99Sketch",

@@ -56,6 +56,7 @@ def _cmd_init(args: argparse.Namespace) -> int:
         epsilon=args.epsilon,
         kappa=args.kappa,
         block_elems=args.block_elems,
+        query_workers=args.query_workers,
     )
     engine = HybridQuantileEngine(config=config)
     save_engine(engine, directory)
@@ -87,6 +88,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
     if engine.n_total == 0:
         print("error: warehouse is empty", file=sys.stderr)
         return 1
+    if args.query_workers is not None:
+        # Runtime override for this invocation only; the persisted
+        # config keeps whatever `init --query-workers` chose.
+        engine.set_query_workers(args.query_workers)
     print(f"{'phi':>6} {'value':>16} {'rank target':>12} {'disk I/O':>9}")
     for phi in args.phi:
         result = engine.quantile(
@@ -118,9 +123,11 @@ def _cmd_status(args: argparse.Namespace) -> int:
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
-    engine = HybridQuantileEngine(
-        epsilon=args.epsilon, kappa=args.kappa, block_elems=100
+    config = EngineConfig(
+        epsilon=args.epsilon, kappa=args.kappa, block_elems=100,
+        query_workers=args.query_workers,
     )
+    engine = HybridQuantileEngine(config=config)
     workload = NormalWorkload(seed=7)
     print(f"demo: {args.steps} steps x {args.batch:,} elements (Normal)")
     for _ in range(args.steps):
@@ -151,6 +158,10 @@ def build_parser() -> argparse.ArgumentParser:
     init.add_argument("--epsilon", type=float, default=1e-3)
     init.add_argument("--kappa", type=int, default=10)
     init.add_argument("--block-elems", type=int, default=1024)
+    init.add_argument(
+        "--query-workers", type=int, default=1,
+        help="threads probing partitions in parallel (default 1: serial)",
+    )
     init.add_argument("--force", action="store_true")
     init.set_defaults(handler=_cmd_init)
 
@@ -170,6 +181,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--mode", choices=("accurate", "quick"), default="accurate"
     )
     query.add_argument("--window", type=int, default=None)
+    query.add_argument(
+        "--query-workers", type=int, default=None,
+        help="override the warehouse's probe parallelism for this query",
+    )
     query.set_defaults(handler=_cmd_query)
 
     status = commands.add_parser("status", help="show warehouse state")
@@ -181,6 +196,10 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--batch", type=int, default=20_000)
     demo.add_argument("--epsilon", type=float, default=0.01)
     demo.add_argument("--kappa", type=int, default=10)
+    demo.add_argument(
+        "--query-workers", type=int, default=1,
+        help="threads probing partitions in parallel (default 1: serial)",
+    )
     demo.set_defaults(handler=_cmd_demo)
 
     return parser

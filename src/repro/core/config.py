@@ -58,6 +58,14 @@ class EngineConfig:
         Residual-range size that stops the ``"fetch"`` strategy's
         narrowing (default ``max(ceil(1/eps), block_elems)``, the
         paper's ``1/eps``).
+    query_workers:
+        Worker threads used by the accurate response to probe disk
+        partitions in parallel (the Section 4 parallel-read
+        optimization, executed by :mod:`repro.query`).  The default of
+        1 runs every probe serially on the calling thread — the exact
+        pre-executor code path, so all historical numbers reproduce
+        bit-for-bit.  Answers and I/O counts are identical for any
+        worker count; only wall-clock changes.
     """
 
     epsilon: float
@@ -71,6 +79,7 @@ class EngineConfig:
     compaction: str = "tiered"
     query_strategy: str = "bisect"
     residual_fetch_elems: Optional[int] = None
+    query_workers: int = 1
 
     def __post_init__(self) -> None:
         if not 0 < self.epsilon < 1:
@@ -90,6 +99,8 @@ class EngineConfig:
         if (self.residual_fetch_elems is not None
                 and self.residual_fetch_elems < 1):
             raise ValueError("residual_fetch_elems must be >= 1")
+        if self.query_workers < 1:
+            raise ValueError("query_workers must be >= 1")
 
     @property
     def epsilon1(self) -> float:

@@ -10,7 +10,11 @@
   which :class:`~repro.core.summaries.StreamSummary` (SS) is extracted
   at query time;
 * the quick response (Algorithm 5) and the accurate response
-  (Algorithms 6-8) over their combination.
+  (Algorithms 6-8) over their combination;
+* a :class:`~repro.query.executor.QueryExecutor` that runs the
+  accurate response's per-partition probes — serially by default, or
+  overlapped on ``config.query_workers`` threads (Section 4's parallel
+  partition reads, implemented).
 
 Typical use::
 
@@ -28,11 +32,12 @@ from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from ..query.executor import QueryExecutor
 from ..sketches.base import rank_for_phi
 from ..sketches.gk import GKSketch
 from ..storage.cache import BlockCache
@@ -83,9 +88,13 @@ class QueryResult:
     wall_seconds: float
     sim_seconds: float
     window_steps: Optional[int] = None
-    #: simulated disk seconds if partitions were read concurrently
-    #: (the Section 4 parallel-query direction); <= sim_seconds.
+    #: simulated disk seconds with partitions read concurrently — the
+    #: critical-path cost the executor realizes when ``query_workers``
+    #: exceeds 1; <= sim_seconds.
     parallel_sim_seconds: float = 0.0
+    #: worker threads the accurate search probed partitions with
+    #: (1 = serial); ``wall_seconds`` is measured under this setting.
+    query_workers: int = 1
 
     @property
     def phi(self) -> float:
@@ -170,6 +179,7 @@ class HybridQuantileEngine:
         self._m = 0
         self._step = 0
         self._stream_stats = AggregateStats.empty()
+        self._query_executor = QueryExecutor(workers=config.query_workers)
 
     # ------------------------------------------------------------------
     # Stream ingestion (Algorithm 4) and warehouse loading (Algorithm 3)
@@ -368,6 +378,7 @@ class HybridQuantileEngine:
                 stream_rank_fn=(
                     self._stream_rank_estimate if step_range is None else None
                 ),
+                executor=self._query_executor,
             )
             outcome = search.run()
             value = outcome.value
@@ -394,6 +405,7 @@ class HybridQuantileEngine:
                 critical_path_blocks
                 * self.disk.latency.seconds_per_random_block
             ),
+            query_workers=self.config.query_workers,
         )
 
     def quantile(
@@ -445,6 +457,7 @@ class HybridQuantileEngine:
                 rank=rank,
                 stream_rank_fn=self._stream_rank_estimate,
                 cache=cache,
+                executor=self._query_executor,
             )
             outcome = search.run()
             results.append(
@@ -460,6 +473,7 @@ class HybridQuantileEngine:
                     wall_seconds=time.perf_counter() - started,
                     sim_seconds=0.0,
                     window_steps=window_steps,
+                    query_workers=self.config.query_workers,
                 )
             )
         self.disk.stats.set_phase("load")
@@ -508,6 +522,47 @@ class HybridQuantileEngine:
     def available_window_sizes(self) -> List[int]:
         """Historical window sizes currently answerable (Figure 11)."""
         return self.store.available_window_sizes()
+
+    # ------------------------------------------------------------------
+    # Query execution resources
+    # ------------------------------------------------------------------
+
+    @property
+    def query_executor(self) -> QueryExecutor:
+        """The executor running this engine's per-partition probes."""
+        return self._query_executor
+
+    def set_query_workers(self, workers: int) -> None:
+        """Re-size the probe fan-out at runtime.
+
+        Shuts the current executor down and installs a fresh one with
+        ``workers`` threads (1 = serial).  Answers and I/O counts are
+        unaffected — only query wall-clock changes.
+        """
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if workers == self.config.query_workers:
+            return
+        old = self._query_executor
+        self.config = replace(self.config, query_workers=workers)
+        self._query_executor = QueryExecutor(workers=workers)
+        old.close()
+
+    def close(self) -> None:
+        """Release the query thread pool (idempotent).
+
+        Serial engines never start a pool, so calling this is only
+        required for long-lived ``query_workers > 1`` deployments that
+        create many engines; the interpreter also joins the pool's
+        threads at exit.
+        """
+        self._query_executor.close()
+
+    def __enter__(self) -> "HybridQuantileEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Accounting and invariants

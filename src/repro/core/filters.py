@@ -17,6 +17,14 @@ keeps refining once the per-partition searches are confined to single
 crossing point.  We do the same: bisection continues to adjacency,
 with the per-query :class:`~repro.storage.cache.BlockCache` making the
 deep iterations free.
+
+Per-partition probing is delegated to :mod:`repro.query`: a
+:class:`~repro.query.planner.QueryPlanner` turns each probe into one
+task per partition and a :class:`~repro.query.executor.QueryExecutor`
+runs them — inline by default, or concurrently when the engine is
+configured with ``query_workers > 1`` (the implemented form of
+Section 4's parallel partition reads).  Answers and I/O accounting are
+identical either way; only wall-clock changes.
 """
 
 from __future__ import annotations
@@ -24,11 +32,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from ..query.executor import SERIAL_EXECUTOR, QueryExecutor
+from ..query.planner import QueryPlanner
 from ..storage.cache import BlockCache
 from ..warehouse.partition import Partition
 from .bounds import CombinedSummary
 from .config import EngineConfig
-from .summaries import PartitionSummary, StreamSummary
+from .summaries import StreamSummary
 
 
 @dataclass(frozen=True)
@@ -46,8 +56,8 @@ class SearchOutcome:
         Random block reads charged by this query.
     max_partition_blocks:
         Deepest single-partition read chain — the query's critical
-        path if partitions were read in parallel (Section 4's
-        future-work direction).
+        path when the executor reads partitions in parallel
+        (``query_workers > 1``); feeds ``parallel_sim_seconds``.
     iterations:
         Number of bisection steps performed.
     truncated:
@@ -74,8 +84,11 @@ class AccurateSearch:
         rank: int,
         stream_rank_fn: Optional[Callable[[int], float]] = None,
         cache: Optional[BlockCache] = None,
+        executor: Optional[QueryExecutor] = None,
     ) -> None:
         self._partitions = [p for p in partitions if len(p) > 0]
+        self._planner = QueryPlanner(self._partitions)
+        self._executor = executor if executor is not None else SERIAL_EXECUTOR
         self._ss = stream_summary
         self._combined = combined
         self._config = config
@@ -98,16 +111,12 @@ class AccurateSearch:
         Each partition's binary search is narrowed to the inter-summary
         gap containing ``value`` (no I/O for the narrowing, since the
         summaries store exact ranks) and charged block reads through
-        the per-query cache.
+        the per-query cache.  The planner emits one task per partition
+        and the executor runs them — concurrently when the engine has
+        ``query_workers > 1``, since the searches touch disjoint runs.
         """
-        ranks = []
-        for partition in self._partitions:
-            summary: PartitionSummary = partition.summary
-            lo, hi = summary.search_bounds(value)
-            ranks.append(
-                partition.run.rank_of(value, lo=lo, hi=hi, cache=self._cache)
-            )
-        return ranks
+        tasks = self._planner.rank_probes(int(value))
+        return self._executor.run_tasks(tasks, self._cache)
 
     def _estimate(self, value: int) -> Tuple[float, List[int]]:
         """Estimated rank of ``value`` in T plus per-partition ranks.
@@ -234,23 +243,16 @@ class AccurateSearch:
     def _select_from_residual(
         self, u: int, v: int, iterations: int, truncated: bool
     ) -> SearchOutcome:
-        """Read (u, v] from every partition and pick the best element."""
+        """Read (u, v] from every partition and pick the best element.
+
+        The residual reads fan out through the same planner/executor
+        pair as the rank probes: one :class:`RangeReadTask` per
+        partition, each independent of the others.
+        """
         candidates: List[int] = []
-        for partition in self._partitions:
-            summary: PartitionSummary = partition.summary
-            lo_b, hi_b = summary.search_bounds(u)
-            start = partition.run.rank_of(u, lo=lo_b, hi=hi_b,
-                                          cache=self._cache)
-            lo_b, hi_b = summary.search_bounds(v)
-            stop = partition.run.rank_of(v, lo=lo_b, hi=hi_b,
-                                         cache=self._cache)
-            if stop > start:
-                candidates.extend(
-                    int(x)
-                    for x in partition.run.read_range(
-                        start, stop, cache=self._cache
-                    )
-                )
+        tasks = self._planner.residual_reads(u, v)
+        for chunk in self._executor.run_tasks(tasks, self._cache):
+            candidates.extend(int(x) for x in chunk)
         stream_candidate = self._ss.largest_at_most(v)
         if stream_candidate is not None and stream_candidate > u:
             candidates.append(int(stream_candidate))

@@ -1,0 +1,132 @@
+"""Query planning: turn one probe into per-partition tasks.
+
+The accurate response (Algorithms 6-8) repeatedly needs the exact rank
+of a probe value ``z`` in *every* historical partition.  The searches
+are independent — each partition's binary search touches only its own
+run and is narrowed by its own in-memory summary — which is exactly
+what the paper's Section 4 observes: "different disk partitions can be
+processed in parallel, leading to a lower latency by overlapping
+different disk reads."
+
+:class:`QueryPlanner` makes that independence explicit.  It converts a
+probe (or a residual-range read) into a list of pure-data task objects,
+one per partition, each carrying everything its partition search needs:
+the probe value and the summary-derived index bounds (Alg. 8 line 5 —
+computed up front, without I/O, since summaries store exact ranks).
+The :class:`~repro.query.executor.QueryExecutor` then runs the tasks
+serially or on a thread pool; either way the per-task work and its
+block accounting are identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..storage.cache import BlockCache
+from ..warehouse.partition import Partition
+
+
+@dataclass(frozen=True)
+class RankProbeTask:
+    """Exact rank of ``value`` in one partition (Alg. 8 lines 2-7).
+
+    ``lo``/``hi`` bound the element indices searched, supplied by the
+    partition summary so the binary search costs
+    ``O(log((hi - lo) / B))`` block reads.
+    """
+
+    partition: Partition
+    value: int
+    lo: int
+    hi: int
+
+    def run(self, cache: Optional[BlockCache]) -> int:
+        """Execute the block-counted binary search."""
+        return self.partition.run.rank_of(
+            self.value, lo=self.lo, hi=self.hi, cache=cache
+        )
+
+
+@dataclass(frozen=True)
+class RangeReadTask:
+    """Read one partition's elements in the value interval ``(u, v]``.
+
+    Used by the ``"fetch"`` endgame (Lemma 5): two summary-narrowed
+    rank searches locate the interval, then the covered blocks are
+    read.  Returns the elements as an int64 array.
+    """
+
+    partition: Partition
+    value_lo: int
+    value_hi: int
+    rank_lo_bounds: "tuple[int, int]"
+    rank_hi_bounds: "tuple[int, int]"
+
+    def run(self, cache: Optional[BlockCache]) -> np.ndarray:
+        """Execute the two rank searches plus the range read."""
+        run = self.partition.run
+        start = run.rank_of(
+            self.value_lo, lo=self.rank_lo_bounds[0],
+            hi=self.rank_lo_bounds[1], cache=cache,
+        )
+        stop = run.rank_of(
+            self.value_hi, lo=self.rank_hi_bounds[0],
+            hi=self.rank_hi_bounds[1], cache=cache,
+        )
+        if stop <= start:
+            return np.empty(0, dtype=np.int64)
+        return run.read_range(start, stop, cache=cache)
+
+
+class QueryPlanner:
+    """Builds per-partition probe plans for one accurate search.
+
+    Parameters
+    ----------
+    partitions:
+        The partitions in query scope.  Empty partitions are dropped at
+        construction (they contribute rank 0 and no candidates).
+    """
+
+    def __init__(self, partitions: Sequence[Partition]) -> None:
+        self._partitions: List[Partition] = [
+            p for p in partitions if len(p) > 0
+        ]
+
+    @property
+    def partitions(self) -> List[Partition]:
+        """The non-empty partitions this planner fans out over."""
+        return list(self._partitions)
+
+    def rank_probes(self, value: int) -> List[RankProbeTask]:
+        """One :class:`RankProbeTask` per partition, in store order.
+
+        The summary narrowing happens here, on the coordinating thread:
+        it is pure in-memory work, so tasks reach the executor as plain
+        data and workers only ever touch their own partition's run.
+        """
+        tasks = []
+        for partition in self._partitions:
+            lo, hi = partition.summary.search_bounds(value)
+            tasks.append(
+                RankProbeTask(partition=partition, value=value, lo=lo, hi=hi)
+            )
+        return tasks
+
+    def residual_reads(self, u: int, v: int) -> List[RangeReadTask]:
+        """One :class:`RangeReadTask` per partition for interval ``(u, v]``."""
+        tasks = []
+        for partition in self._partitions:
+            tasks.append(
+                RangeReadTask(
+                    partition=partition,
+                    value_lo=u,
+                    value_hi=v,
+                    rank_lo_bounds=partition.summary.search_bounds(u),
+                    rank_hi_bounds=partition.summary.search_bounds(v),
+                )
+            )
+        return tasks

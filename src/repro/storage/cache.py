@@ -6,12 +6,21 @@ all further probes are free.  More generally, a query never pays twice
 for the same block.  :class:`BlockCache` implements exactly that
 accounting: it is created per query, remembers which (run, block) pairs
 have been charged, and charges the disk once per new pair.
+
+The cache is thread-safe so the parallel query executor
+(:mod:`repro.query`) can probe partitions concurrently: each run's
+seen-set is guarded by its own lock (concurrent probes into *different*
+partitions never contend), and the aggregate tallies are guarded by a
+single counter lock.  Because concurrent probes within one query always
+target distinct runs, the set of charged (run, block) pairs — and hence
+every counter — is identical to a serial execution of the same query.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
-from typing import Set, Tuple
+from typing import Dict, Set
 
 from .disk import SimulatedDisk
 
@@ -32,27 +41,41 @@ class BlockCache:
     def __init__(self, disk: SimulatedDisk, enabled: bool = True) -> None:
         self._disk = disk
         self._enabled = enabled
-        self._seen: Set[Tuple[int, int]] = set()
+        self._seen: Dict[int, Set[int]] = {}
+        self._run_locks: Dict[int, threading.Lock] = {}
+        self._locks_guard = threading.Lock()
+        self._count_lock = threading.Lock()
         self.blocks_charged = 0
-        #: charged blocks per run — feeds the parallel-read latency
-        #: model (Section 4: partitions can be read concurrently).
+        #: charged blocks per run — the deepest chain is the realized
+        #: critical path when the executor reads partitions in parallel.
         self.blocks_per_run: "Counter[int]" = Counter()
+
+    def _lock_for(self, run_id: int) -> threading.Lock:
+        """The per-run (per-partition) lock guarding one seen-set."""
+        lock = self._run_locks.get(run_id)
+        if lock is None:
+            with self._locks_guard:
+                lock = self._run_locks.setdefault(run_id, threading.Lock())
+        return lock
 
     def touch(self, run_id: int, block: int) -> None:
         """Charge a random read of ``block`` in run ``run_id`` if new."""
-        key = (run_id, block)
-        if self._enabled and key in self._seen:
-            return
-        self._seen.add(key)
-        self._disk.charge_random_read(1)
-        self.blocks_charged += 1
-        self.blocks_per_run[run_id] += 1
+        with self._lock_for(run_id):
+            seen = self._seen.setdefault(run_id, set())
+            if self._enabled and block in seen:
+                return
+            seen.add(block)
+            self._disk.charge_random_read(1)
+            with self._count_lock:
+                self.blocks_charged += 1
+                self.blocks_per_run[run_id] += 1
 
     def max_blocks_per_run(self) -> int:
         """Deepest per-partition read chain (parallel critical path)."""
-        if not self.blocks_per_run:
-            return 0
-        return max(self.blocks_per_run.values())
+        with self._count_lock:
+            if not self.blocks_per_run:
+                return 0
+            return max(self.blocks_per_run.values())
 
     def touch_range(self, run_id: int, first_block: int, last_block: int) -> None:
         """Charge reads for every block in [first_block, last_block]."""

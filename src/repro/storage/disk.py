@@ -11,6 +11,11 @@ One :class:`SimulatedDisk` instance backs one engine; every
 :class:`~repro.storage.runfile.SortedRun` allocated from it shares the
 same counters, so an experiment can read a single tally for, e.g., "disk
 accesses per time step" (Fig. 7) or "disk accesses per query" (Fig. 9).
+
+The disk itself is stateless apart from its :class:`DiskStats`, whose
+counter updates are atomic — the parallel query executor
+(:mod:`repro.query`) charges it from several threads at once without
+losing counts.
 """
 
 from __future__ import annotations

@@ -8,9 +8,17 @@ its cost through an :class:`IoCounters` instance, and a
 :class:`DiskLatencyModel` converts the counts into simulated seconds so
 benchmarks can report a "time" axis comparable in shape to the paper's
 wall-clock figures.
+
+Thread safety: :class:`DiskStats` serializes every ``record_*`` call
+behind a lock, so the parallel query executor (``repro.query``) and
+callers driving one engine from several threads never lose counts to a
+torn ``+=``.  Snapshots (:meth:`IoCounters.snapshot`) are taken on the
+coordinating thread between fan-outs, not concurrently with them.
 """
 
 from __future__ import annotations
+
+import threading
 
 from dataclasses import dataclass, field
 
@@ -109,6 +117,9 @@ class DiskStats:
     query: IoCounters = field(default_factory=IoCounters)
 
     _phase: str = "load"
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def set_phase(self, phase: str) -> None:
         """Direct subsequent accesses to the named phase sub-tally.
@@ -118,22 +129,34 @@ class DiskStats:
         """
         if phase not in ("load", "sort", "merge", "query"):
             raise ValueError(f"unknown I/O phase: {phase!r}")
-        self._phase = phase
+        with self._lock:
+            self._phase = phase
 
     def _bucket(self) -> IoCounters:
         return getattr(self, self._phase)
 
     def record_sequential_read(self, blocks: int = 1) -> None:
-        """Tally sequential block reads."""
-        self.counters.sequential_reads += blocks
-        self._bucket().sequential_reads += blocks
+        """Tally sequential block reads (atomic)."""
+        with self._lock:
+            self.counters.sequential_reads += blocks
+            self._bucket().sequential_reads += blocks
 
     def record_sequential_write(self, blocks: int = 1) -> None:
-        """Tally sequential block writes."""
-        self.counters.sequential_writes += blocks
-        self._bucket().sequential_writes += blocks
+        """Tally sequential block writes (atomic)."""
+        with self._lock:
+            self.counters.sequential_writes += blocks
+            self._bucket().sequential_writes += blocks
 
     def record_random_read(self, blocks: int = 1) -> None:
-        """Tally random block reads."""
-        self.counters.random_reads += blocks
-        self._bucket().random_reads += blocks
+        """Tally random block reads (atomic).
+
+        Random I/O is definitionally query-phase in this system
+        (Lemma 7: the only random accesses are query-time probes), so
+        it is attributed to the ``query`` sub-tally directly rather
+        than through the mutable current phase — keeping the per-phase
+        split exact even when several query threads run concurrently
+        while another thread's load flips the phase flag.
+        """
+        with self._lock:
+            self.counters.random_reads += blocks
+            self.query.random_reads += blocks

@@ -17,6 +17,7 @@ measured behaviour; see DESIGN.md.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import defaultdict
 from typing import Any, Callable, Dict, List, Optional, Sequence
@@ -66,6 +67,13 @@ class LeveledStore:
         self._summary_builder = summary_builder
         self._levels: List[List[Partition]] = [[]]
         self._steps_loaded = 0
+        # Guards the level layout: mutations (add_batch's cascade,
+        # load_partitions) and layout reads (partitions()) serialize on
+        # it, so a query thread always sees a complete cascade, never a
+        # half-merged one.  Partitions themselves are immutable once
+        # attached, so the snapshot list partitions() returns stays
+        # valid however far the store advances afterwards.
+        self._layout_lock = threading.RLock()
         # Cumulative wall-clock seconds by maintenance phase; the
         # engine snapshots this to break update time into the
         # load/sort/merge/summary components of Figure 6.
@@ -81,20 +89,25 @@ class LeveledStore:
         Cascading merges run first if level 0 is full.  Returns the new
         partition.
         """
-        if step is None:
-            step = self._steps_loaded + 1
-        self._make_room(0)
-        self.disk.stats.set_phase("sort")
-        started = time.perf_counter()
-        sorted_batch = self._sorter.sorted_array(np.asarray(data, dtype=np.int64))
-        self.cpu_seconds["sort"] += time.perf_counter() - started
-        self.disk.stats.set_phase("load")
-        run = SortedRun(self.disk, sorted_batch, charge_write=True)
-        partition = Partition(level=0, start_step=step, end_step=step, run=run)
-        self._attach_summary(partition)
-        self._levels[0].append(partition)
-        self._steps_loaded = max(self._steps_loaded, step)
-        return partition
+        with self._layout_lock:
+            if step is None:
+                step = self._steps_loaded + 1
+            self._make_room(0)
+            self.disk.stats.set_phase("sort")
+            started = time.perf_counter()
+            sorted_batch = self._sorter.sorted_array(
+                np.asarray(data, dtype=np.int64)
+            )
+            self.cpu_seconds["sort"] += time.perf_counter() - started
+            self.disk.stats.set_phase("load")
+            run = SortedRun(self.disk, sorted_batch, charge_write=True)
+            partition = Partition(
+                level=0, start_step=step, end_step=step, run=run
+            )
+            self._attach_summary(partition)
+            self._levels[0].append(partition)
+            self._steps_loaded = max(self._steps_loaded, step)
+            return partition
 
     def _make_room(self, level: int) -> None:
         """Ensure ``level`` has a free slot, merging upward if needed."""
@@ -138,19 +151,20 @@ class LeveledStore:
         Summaries are (re)built through the configured builder and the
         structural invariants are verified before adoption.
         """
-        if self.partition_count():
-            raise ValueError("store already holds partitions")
-        self._levels = [list(level) for level in partitions_by_level]
-        if not self._levels:
-            self._levels = [[]]
-        for level in self._levels:
-            for partition in level:
-                if partition.summary is None:
-                    self._attach_summary(partition)
-        self._steps_loaded = max(
-            (p.end_step for p in self.partitions()), default=0
-        )
-        self.check_invariant()
+        with self._layout_lock:
+            if self.partition_count():
+                raise ValueError("store already holds partitions")
+            self._levels = [list(level) for level in partitions_by_level]
+            if not self._levels:
+                self._levels = [[]]
+            for level in self._levels:
+                for partition in level:
+                    if partition.summary is None:
+                        self._attach_summary(partition)
+            self._steps_loaded = max(
+                (p.end_step for p in self.partitions()), default=0
+            )
+            self.check_invariant()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -171,11 +185,17 @@ class LeveledStore:
         return tuple(self._levels[index])
 
     def partitions(self) -> List[Partition]:
-        """All partitions in chronological order (oldest data first)."""
-        ordered: List[Partition] = []
-        for level in reversed(self._levels):
-            ordered.extend(level)
-        return ordered
+        """All partitions in chronological order (oldest data first).
+
+        Returns a snapshot list taken under the layout lock: safe to
+        iterate (and to probe through the query executor) while another
+        thread loads batches into the store.
+        """
+        with self._layout_lock:
+            ordered: List[Partition] = []
+            for level in reversed(self._levels):
+                ordered.extend(level)
+            return ordered
 
     def total_elements(self) -> int:
         """Total number of historical elements n."""

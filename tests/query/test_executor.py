@@ -1,0 +1,79 @@
+"""Unit tests for the query executor itself."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.query import QueryExecutor
+
+
+class _Task:
+    """Records which thread ran it and returns a canned result."""
+
+    def __init__(self, result):
+        self.result = result
+        self.thread = None
+
+    def run(self, cache):
+        self.thread = threading.current_thread()
+        if isinstance(self.result, Exception):
+            raise self.result
+        return self.result
+
+
+class TestSerialExecutor:
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError):
+            QueryExecutor(workers=0)
+
+    def test_runs_inline_without_pool(self):
+        executor = QueryExecutor(workers=1)
+        tasks = [_Task(i) for i in range(5)]
+        assert executor.run_tasks(tasks, None) == [0, 1, 2, 3, 4]
+        assert not executor.pool_started
+        main = threading.current_thread()
+        assert all(task.thread is main for task in tasks)
+
+    def test_single_task_stays_inline_even_with_workers(self):
+        executor = QueryExecutor(workers=4)
+        task = _Task("only")
+        assert executor.run_tasks([task], None) == ["only"]
+        assert not executor.pool_started
+        executor.close()
+
+
+class TestParallelExecutor:
+    def test_preserves_task_order(self):
+        with QueryExecutor(workers=4) as executor:
+            tasks = [_Task(i * i) for i in range(20)]
+            assert executor.run_tasks(tasks, None) == [
+                i * i for i in range(20)
+            ]
+            assert executor.pool_started
+
+    def test_runs_on_named_worker_threads(self):
+        with QueryExecutor(workers=2) as executor:
+            tasks = [_Task(i) for i in range(8)]
+            executor.run_tasks(tasks, None)
+        names = {task.thread.name for task in tasks}
+        assert all(name.startswith("repro-query") for name in names)
+
+    def test_worker_exception_propagates(self):
+        with QueryExecutor(workers=2) as executor:
+            tasks = [_Task(1), _Task(RuntimeError("boom")), _Task(3)]
+            with pytest.raises(RuntimeError, match="boom"):
+                executor.run_tasks(tasks, None)
+
+    def test_close_is_idempotent_and_falls_back_inline(self):
+        executor = QueryExecutor(workers=4)
+        executor.run_tasks([_Task(1), _Task(2)], None)
+        executor.close()
+        executor.close()
+        # Closed executors still answer, inline.
+        tasks = [_Task(10), _Task(20)]
+        assert executor.run_tasks(tasks, None) == [10, 20]
+        assert not executor.pool_started
+        main = threading.current_thread()
+        assert all(task.thread is main for task in tasks)

@@ -1,5 +1,7 @@
 """Tests for the per-query block cache."""
 
+import threading
+
 from repro.storage import BlockCache, SimulatedDisk
 
 
@@ -40,3 +42,49 @@ class TestBlockCache:
         assert disk.stats.counters.random_reads == 4
         cache.touch_range(1, 4, 6)  # 4, 5 already cached
         assert disk.stats.counters.random_reads == 5
+
+
+class TestBlockCacheConcurrency:
+    """Counter updates are atomic: no charge is lost or duplicated."""
+
+    RUNS = 4
+    BLOCKS = 50
+    THREADS = 8
+
+    def _hammer(self, cache):
+        barrier = threading.Barrier(self.THREADS)
+
+        def worker(seed):
+            barrier.wait()
+            # Every thread touches every (run, block) pair, offset so
+            # the interleavings differ, racing the dedup check.
+            for i in range(self.RUNS * self.BLOCKS):
+                j = (i + seed) % (self.RUNS * self.BLOCKS)
+                cache.touch(j // self.BLOCKS, j % self.BLOCKS)
+
+        threads = [
+            threading.Thread(target=worker, args=(seed,))
+            for seed in range(self.THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+    def test_concurrent_touches_charge_each_block_once(self):
+        disk = SimulatedDisk()
+        cache = BlockCache(disk)
+        self._hammer(cache)
+        unique = self.RUNS * self.BLOCKS
+        assert cache.blocks_charged == unique
+        assert disk.stats.counters.random_reads == unique
+        assert sum(cache.blocks_per_run.values()) == unique
+        assert cache.max_blocks_per_run() == self.BLOCKS
+
+    def test_disabled_cache_counts_every_concurrent_touch(self):
+        disk = SimulatedDisk()
+        cache = BlockCache(disk, enabled=False)
+        self._hammer(cache)
+        total = self.THREADS * self.RUNS * self.BLOCKS
+        assert cache.blocks_charged == total
+        assert disk.stats.counters.random_reads == total

@@ -15,6 +15,10 @@ from hypothesis import strategies as st
 
 from repro import ExactQuantiles, HybridQuantileEngine
 
+# Randomized whole-scenario replays: benchmark-adjacent, skippable in
+# a quick pass via -m "not slow".
+pytestmark = pytest.mark.slow
+
 
 def interval_error(oracle, value, target):
     high = oracle.rank(value)

@@ -10,6 +10,10 @@ EXAMPLES = sorted(
     (Path(__file__).resolve().parent.parent / "examples").glob("*.py")
 )
 
+# Each example replays a small experiment end to end — benchmark-
+# adjacent work, skippable in a quick pass via -m "not slow".
+pytestmark = pytest.mark.slow
+
 
 @pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
 def test_example_runs(script):
