@@ -97,6 +97,7 @@ def hybrid_engine(
     stream_fraction: float = 0.5,
     block_cache: bool = True,
     probe_budget: Optional[int] = None,
+    ingest_mode: str = "sync",
 ) -> HybridQuantileEngine:
     """Hybrid engine whose epsilons are derived from a word budget."""
     budget = MemoryBudget(total_words=words, stream_fraction=stream_fraction)
@@ -109,6 +110,7 @@ def hybrid_engine(
         block_elems=scale.block_elems,
         block_cache=block_cache,
         probe_budget=probe_budget,
+        ingest_mode=ingest_mode,
     )
     return HybridQuantileEngine(config=config)
 

@@ -57,6 +57,7 @@ def _cmd_init(args: argparse.Namespace) -> int:
         kappa=args.kappa,
         block_elems=args.block_elems,
         query_workers=args.query_workers,
+        ingest_mode=args.ingest_mode,
     )
     engine = HybridQuantileEngine(config=config)
     save_engine(engine, directory)
@@ -72,6 +73,12 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     message = f"streamed {len(values):,} elements"
     if args.archive:
         report = engine.end_time_step()
+        # Background mode returns a provisional report; the checkpoint
+        # flushes anyway, so surface the authoritative numbers.
+        if not report.archived:
+            flushed = engine.flush()
+            if flushed:
+                report = flushed[-1]
         message += (
             f"; archived step {report.step} "
             f"({report.io_total:,} disk accesses"
@@ -125,14 +132,16 @@ def _cmd_status(args: argparse.Namespace) -> int:
 def _cmd_demo(args: argparse.Namespace) -> int:
     config = EngineConfig(
         epsilon=args.epsilon, kappa=args.kappa, block_elems=100,
-        query_workers=args.query_workers,
+        query_workers=args.query_workers, ingest_mode=args.ingest_mode,
     )
     engine = HybridQuantileEngine(config=config)
     workload = NormalWorkload(seed=7)
-    print(f"demo: {args.steps} steps x {args.batch:,} elements (Normal)")
+    print(f"demo: {args.steps} steps x {args.batch:,} elements (Normal, "
+          f"{args.ingest_mode} ingest)")
     for _ in range(args.steps):
         engine.stream_update_batch(workload.generate(args.batch))
         engine.end_time_step()
+    engine.flush()
     engine.stream_update_batch(workload.generate(args.batch))
     for phi in (0.25, 0.5, 0.75, 0.95, 0.99):
         result = engine.quantile(phi)
@@ -141,6 +150,12 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     memory = engine.memory_report()
     print(f"memory: {memory.total_words:,} words over "
           f"{engine.n_total:,} elements")
+    stats = engine.ingest_stats
+    if stats is not None:
+        print(f"ingest: stalled {stats.stall_seconds * 1e3:.1f} ms over "
+              f"{stats.batches_archived} steps "
+              f"(max queue depth {stats.max_queue_depth})")
+    engine.close()
     return 0
 
 
@@ -161,6 +176,11 @@ def build_parser() -> argparse.ArgumentParser:
     init.add_argument(
         "--query-workers", type=int, default=1,
         help="threads probing partitions in parallel (default 1: serial)",
+    )
+    init.add_argument(
+        "--ingest-mode", choices=("sync", "background"), default="sync",
+        help="archive batches synchronously (default) or on a "
+             "background thread that overlaps with updates and queries",
     )
     init.add_argument("--force", action="store_true")
     init.set_defaults(handler=_cmd_init)
@@ -199,6 +219,10 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument(
         "--query-workers", type=int, default=1,
         help="threads probing partitions in parallel (default 1: serial)",
+    )
+    demo.add_argument(
+        "--ingest-mode", choices=("sync", "background"), default="sync",
+        help="archive batches synchronously (default) or in the background",
     )
     demo.set_defaults(handler=_cmd_demo)
 

@@ -50,6 +50,19 @@ class AggregateStats:
             maximum=int(values.max()),
         )
 
+    def with_value(self, value: int) -> "AggregateStats":
+        """Aggregates after appending one element (O(1), no arrays)."""
+        if self.count == 0:
+            return AggregateStats(
+                count=1, total=value, minimum=value, maximum=value
+            )
+        return AggregateStats(
+            count=self.count + 1,
+            total=self.total + value,
+            minimum=min(self.minimum, value),
+            maximum=max(self.maximum, value),
+        )
+
     def merge(self, other: "AggregateStats") -> "AggregateStats":
         """Combine two aggregates."""
         if self.count == 0:

@@ -66,6 +66,18 @@ class EngineConfig:
         pre-executor code path, so all historical numbers reproduce
         bit-for-bit.  Answers and I/O counts are identical for any
         worker count; only wall-clock changes.
+    ingest_mode:
+        Archiving mode for ``end_time_step``: ``"sync"`` (default)
+        blocks the stream while the batch is sorted, written and merged
+        — the exact historical code path; ``"background"`` seals the
+        batch and hands it to the :mod:`repro.ingest` archiver thread,
+        so the stream (and queries) continue while sort + level merges
+        run off the hot path.  After ``engine.flush()`` the answers,
+        I/O counters and invariants are bit-identical across modes.
+    ingest_queue_batches:
+        Backpressure bound of the background archiver: at most this
+        many sealed batches may be pending (staged but not merged)
+        before ``end_time_step`` blocks, accumulating stall seconds.
     """
 
     epsilon: float
@@ -80,6 +92,8 @@ class EngineConfig:
     query_strategy: str = "bisect"
     residual_fetch_elems: Optional[int] = None
     query_workers: int = 1
+    ingest_mode: str = "sync"
+    ingest_queue_batches: int = 4
 
     def __post_init__(self) -> None:
         if not 0 < self.epsilon < 1:
@@ -101,6 +115,10 @@ class EngineConfig:
             raise ValueError("residual_fetch_elems must be >= 1")
         if self.query_workers < 1:
             raise ValueError("query_workers must be >= 1")
+        if self.ingest_mode not in ("sync", "background"):
+            raise ValueError("ingest_mode must be 'sync' or 'background'")
+        if self.ingest_queue_batches < 1:
+            raise ValueError("ingest_queue_batches must be >= 1")
 
     @property
     def epsilon1(self) -> float:

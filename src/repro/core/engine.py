@@ -14,7 +14,13 @@
 * a :class:`~repro.query.executor.QueryExecutor` that runs the
   accurate response's per-partition probes — serially by default, or
   overlapped on ``config.query_workers`` threads (Section 4's parallel
-  partition reads, implemented).
+  partition reads, implemented);
+* an ingest pipeline (:mod:`repro.ingest`) that, with
+  ``config.ingest_mode = "background"``, seals each time step's batch
+  and archives it (sort + level merges + summary construction) on a
+  background thread, so ``stream_update*`` and queries continue while
+  the warehouse churns — the paper's Algorithm 3 setting of a
+  warehouse continuously loading batches while serving queries.
 
 Typical use::
 
@@ -23,6 +29,7 @@ Typical use::
         engine.stream_update_batch(batch)   # live stream
         ... engine.quantile(0.5) ...        # query any time
         engine.end_time_step()              # archive the batch
+    engine.flush()                          # drain background archiving
 
 Every update and query reports its disk-access counts and timings, so
 the benchmark harness reads the same metrics the paper plots.
@@ -37,20 +44,22 @@ from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from ..ingest import AppendBuffer, BackgroundArchiver, IngestStats, PendingBatch
+from ..ingest.archiver import ArchiveRecord
 from ..query.executor import QueryExecutor
 from ..sketches.base import rank_for_phi
 from ..sketches.gk import GKSketch
 from ..storage.cache import BlockCache
 from ..storage.disk import SimulatedDisk
 from ..warehouse.compaction import LeveledCompactionStore
-from ..warehouse.leveled_store import LeveledStore
+from ..warehouse.leveled_store import LeveledStore, window_sizes_from
 from ..warehouse.partition import Partition
 from .bounds import CombinedSummary
 from .config import EngineConfig
 from .filters import AccurateSearch
 from .summaries import PartitionSummary, StreamSummary
 from .aggregates import AggregateStats, combine, partition_stats
-from .windows import resolve_range, resolve_window
+from .windows import resolve_range_in, resolve_window_in
 
 
 @dataclass(frozen=True)
@@ -60,6 +69,11 @@ class StepReport:
     ``io_*`` fields are block counts; ``cpu_seconds`` is measured wall
     time by phase; ``sim_seconds`` applies the disk latency model to
     the I/O performed this step.
+
+    In background ingest mode ``end_time_step`` returns a provisional
+    report (``archived=False``, zero I/O) because the archive work has
+    only been enqueued; :meth:`HybridQuantileEngine.flush` later yields
+    the authoritative per-step reports with ``archived=True``.
     """
 
     step: int
@@ -71,6 +85,19 @@ class StepReport:
     cpu_seconds: "dict[str, float]"
     sim_seconds: float
     merged_levels: bool
+    #: wall seconds the *stream* was blocked for this step — the full
+    #: archive latency in sync mode, only seal + backpressure wait in
+    #: background mode.
+    stall_seconds: float = 0.0
+    #: pending batches queued behind the archiver when this step was
+    #: submitted (0 in sync mode).
+    queue_depth: int = 0
+    #: wall seconds the archive work itself took (== stall_seconds in
+    #: sync mode; measured on the archiver thread in background mode).
+    archive_wall_seconds: float = 0.0
+    #: False for the provisional report background ``end_time_step``
+    #: returns before the batch has actually been archived.
+    archived: bool = True
 
 
 @dataclass(frozen=True)
@@ -175,11 +202,15 @@ class HybridQuantileEngine:
             summary_builder=self._build_partition_summary,
         )
         self._gk = self._fresh_stream_sketch()
-        self._stream_chunks: List[np.ndarray] = []
+        self._buffer = AppendBuffer()
         self._m = 0
         self._step = 0
         self._stream_stats = AggregateStats.empty()
         self._query_executor = QueryExecutor(workers=config.query_workers)
+        # Created lazily on the first background end_time_step, so it
+        # always binds the *final* store (load_engine swaps the store
+        # attribute after construction).
+        self._archiver: Optional[BackgroundArchiver] = None
 
     # ------------------------------------------------------------------
     # Stream ingestion (Algorithm 4) and warehouse loading (Algorithm 3)
@@ -197,13 +228,11 @@ class HybridQuantileEngine:
         return PartitionSummary.build(partition, self.config.epsilon1)
 
     def stream_update(self, value: int) -> None:
-        """Process one live stream element."""
+        """Process one live stream element (amortized O(1) buffering)."""
+        value = int(value)
         self._gk.update(value)
-        arr = np.asarray([value], dtype=np.int64)
-        self._stream_chunks.append(arr)
-        self._stream_stats = self._stream_stats.merge(
-            AggregateStats.of_array(arr)
-        )
+        self._buffer.append(value)
+        self._stream_stats = self._stream_stats.with_value(value)
         self._m += 1
 
     def stream_update_batch(self, values: Iterable[int]) -> None:
@@ -215,7 +244,7 @@ class HybridQuantileEngine:
         if arr.size == 0:
             return
         self._gk.update_batch(arr)
-        self._stream_chunks.append(arr.copy())
+        self._buffer.extend(arr)
         self._stream_stats = self._stream_stats.merge(
             AggregateStats.of_array(arr)
         )
@@ -227,30 +256,32 @@ class HybridQuantileEngine:
         The batch is sorted, stored as a level-0 partition (triggering
         cascading merges when levels are full), its summary attached,
         and the stream sketch reset — Algorithm 3 plus StreamReset.
+
+        With ``config.ingest_mode == "background"`` only the *seal* —
+        take the buffer, reset the sketch, enqueue — happens here; the
+        archive work runs on the background thread and the returned
+        report is provisional (``archived=False``).  Call
+        :meth:`flush` to drain and obtain the authoritative reports.
         """
         self._step += 1
-        batch = (
-            np.concatenate(self._stream_chunks)
-            if self._stream_chunks
-            else np.empty(0, dtype=np.int64)
-        )
-        before_io = self.disk.stats.counters.snapshot()
-        before_load = self.disk.stats.load.snapshot()
-        before_sort = self.disk.stats.sort.snapshot()
-        before_merge = self.disk.stats.merge.snapshot()
-        cpu_before = dict(self.store.cpu_seconds)
         started = time.perf_counter()
-        self.store.add_batch(batch, step=self._step)
-        wall = time.perf_counter() - started
-        self._stream_chunks = []
+        batch = self._buffer.take()
+        batch_stats = self._stream_stats
         self._m = 0
         self._gk = self._fresh_stream_sketch()
         self._stream_stats = AggregateStats.empty()
+        if self.config.ingest_mode == "background":
+            return self._end_time_step_background(batch, batch_stats, started)
+        return self._end_time_step_sync(batch, started)
 
-        io_delta = self.disk.stats.counters.delta_since(before_io)
-        load_delta = self.disk.stats.load.delta_since(before_load)
-        sort_delta = self.disk.stats.sort.delta_since(before_sort)
-        merge_delta = self.disk.stats.merge.delta_since(before_merge)
+    def _end_time_step_sync(
+        self, batch: np.ndarray, started: float
+    ) -> StepReport:
+        stats = self.disk.stats
+        cpu_before = dict(self.store.cpu_seconds)
+        with stats.capture() as tally:
+            self.store.add_batch(batch, step=self._step)
+        wall = time.perf_counter() - started
         cpu = {
             phase: self.store.cpu_seconds.get(phase, 0.0)
             - cpu_before.get(phase, 0.0)
@@ -260,14 +291,95 @@ class HybridQuantileEngine:
         return StepReport(
             step=self._step,
             batch_elems=int(batch.size),
-            io_total=io_delta.total,
-            io_load=load_delta.total,
-            io_sort=sort_delta.total,
-            io_merge=merge_delta.total,
+            io_total=tally.total.total,
+            io_load=tally.phase("load").total,
+            io_sort=tally.phase("sort").total,
+            io_merge=tally.phase("merge").total,
             cpu_seconds=cpu,
-            sim_seconds=self.disk.latency.seconds(io_delta),
-            merged_levels=merge_delta.total > 0,
+            sim_seconds=self.disk.latency.seconds(tally.total),
+            merged_levels=tally.phase("merge").total > 0,
+            stall_seconds=wall,
+            queue_depth=0,
+            archive_wall_seconds=wall,
         )
+
+    def _end_time_step_background(
+        self, batch: np.ndarray, batch_stats: AggregateStats, started: float
+    ) -> StepReport:
+        pending = PendingBatch(step=self._step, values=batch)
+        pending.stats = batch_stats
+        archiver = self._ensure_archiver()
+        _, depth = archiver.submit(pending)
+        stall = time.perf_counter() - started
+        pending.stall_seconds = stall
+        archiver.stats.stall_seconds += stall
+        return StepReport(
+            step=self._step,
+            batch_elems=int(batch.size),
+            io_total=0,
+            io_load=0,
+            io_sort=0,
+            io_merge=0,
+            cpu_seconds={"sort": 0.0, "merge": 0.0, "summary": 0.0,
+                         "load": 0.0, "seal": stall},
+            sim_seconds=0.0,
+            merged_levels=False,
+            stall_seconds=stall,
+            queue_depth=depth,
+            archive_wall_seconds=0.0,
+            archived=False,
+        )
+
+    def flush(self) -> List[StepReport]:
+        """Drain background archiving; return the completed reports.
+
+        Blocks until every enqueued batch has been archived, then
+        returns one authoritative :class:`StepReport` per step archived
+        since the previous ``flush`` (step order).  Answers, per-phase
+        I/O counters and invariants match what the synchronous mode
+        would have reported for the same stream.  A no-op returning
+        ``[]`` in sync mode or when nothing was ever enqueued.
+        """
+        if self._archiver is None:
+            return []
+        records = self._archiver.drain()
+        return [self._report_from_record(record) for record in records]
+
+    def _ensure_archiver(self) -> BackgroundArchiver:
+        if self._archiver is None:
+            self._archiver = BackgroundArchiver(
+                self.store, max_pending=self.config.ingest_queue_batches
+            )
+        return self._archiver
+
+    def _report_from_record(self, record: ArchiveRecord) -> StepReport:
+        cpu = {
+            phase: record.cpu.get(phase, 0.0)
+            for phase in ("sort", "merge", "summary", "load")
+        }
+        return StepReport(
+            step=record.step,
+            batch_elems=record.batch_elems,
+            io_total=record.io.total.total,
+            io_load=record.io.phase("load").total,
+            io_sort=record.io.phase("sort").total,
+            io_merge=record.io.phase("merge").total,
+            cpu_seconds=cpu,
+            sim_seconds=self.disk.latency.seconds(record.io.total),
+            merged_levels=record.merged_levels,
+            stall_seconds=record.stall_seconds,
+            queue_depth=record.queue_depth,
+            archive_wall_seconds=record.archive_wall_seconds,
+        )
+
+    @property
+    def ingest_stats(self) -> Optional[IngestStats]:
+        """Cumulative background-ingest instrumentation.
+
+        ``None`` until the first background ``end_time_step`` (always
+        ``None`` in sync mode).
+        """
+        return self._archiver.stats if self._archiver is not None else None
 
     # ------------------------------------------------------------------
     # Queries (Algorithms 5-8)
@@ -275,8 +387,13 @@ class HybridQuantileEngine:
 
     @property
     def n_historical(self) -> int:
-        """Number of archived historical elements n."""
-        return self.store.total_elements()
+        """Number of sealed historical elements n (archived + pending)."""
+        if self._archiver is None:
+            return self.store.total_elements()
+        with self.store.layout_lock:
+            total = self.store.total_elements()
+            pending = self._archiver.pending_batches()
+        return total + sum(len(batch) for batch in pending)
 
     @property
     def m_stream(self) -> int:
@@ -290,8 +407,18 @@ class HybridQuantileEngine:
 
     @property
     def steps_loaded(self) -> int:
-        """Highest time step whose batch has been archived."""
+        """Highest time step fully archived into the leveled layout."""
         return self.store.steps_loaded
+
+    @property
+    def steps_sealed(self) -> int:
+        """Highest time step sealed by ``end_time_step``.
+
+        Equals :attr:`steps_loaded` in sync mode; in background mode it
+        may run ahead while batches wait in the archiver's queue (all of
+        them still fully queryable).
+        """
+        return self._step
 
     def stream_summary(self) -> StreamSummary:
         """Extract SS from the live GK sketch (Algorithm 4)."""
@@ -309,15 +436,37 @@ class HybridQuantileEngine:
         lo, hi = self._gk.rank_bounds(int(value))
         return (lo + hi) / 2.0
 
+    def _queryable_partitions(self) -> List[Partition]:
+        """Step-ordered snapshot of every sealed element's partition.
+
+        In sync mode this is just the store's layout snapshot.  In
+        background mode the adopted layout and the archiver's pending
+        set are snapshotted *atomically* under the layout lock (the
+        archiver adopts and unlinks in one critical section of the same
+        lock), so every sealed batch appears exactly once no matter how
+        the snapshot races an in-flight adoption.  Pending batches are
+        then staged by this thread if needed — work-stealing, so a
+        query never waits behind an in-flight cascade merge.
+        """
+        if self._archiver is None:
+            return self.store.partitions()
+        with self.store.layout_lock:
+            ordered = self.store.partitions()
+            pending = self._archiver.pending_batches()
+        for batch in pending:
+            ordered.append(batch.ensure_staged(self.store))
+        return ordered
+
     def _query_scope(
         self,
         window_steps: Optional[int],
         step_range: "Optional[tuple[int, int]]" = None,
     ) -> "tuple[List[Partition], StreamSummary, CombinedSummary]":
+        ordered = self._queryable_partitions()
         if step_range is not None:
             if window_steps is not None:
                 raise ValueError("pass window_steps or step_range, not both")
-            partitions = resolve_range(self.store, *step_range)
+            partitions = resolve_range_in(ordered, *step_range)
             # A historical interval excludes the live stream.
             ss = StreamSummary(
                 values=np.empty(0, dtype=np.int64),
@@ -326,9 +475,9 @@ class HybridQuantileEngine:
             )
         else:
             if window_steps is None:
-                partitions = self.store.partitions()
+                partitions = ordered
             else:
-                partitions = resolve_window(self.store, window_steps)
+                partitions = resolve_window_in(ordered, window_steps)
             ss = self.stream_summary()
         summaries = [p.summary for p in partitions if len(p) > 0]
         combined = CombinedSummary.build(summaries, ss)
@@ -417,10 +566,14 @@ class HybridQuantileEngine:
     ) -> QueryResult:
         """A ``phi``-quantile of the union (Definition 1)."""
         if step_range is not None:
-            partitions = resolve_range(self.store, *step_range)
+            partitions = resolve_range_in(
+                self._queryable_partitions(), *step_range
+            )
             total = sum(len(p) for p in partitions)
         elif window_steps is not None:
-            partitions = resolve_window(self.store, window_steps)
+            partitions = resolve_window_in(
+                self._queryable_partitions(), window_steps
+            )
             total = sum(len(p) for p in partitions) + self._m
         else:
             total = self.n_total
@@ -440,7 +593,6 @@ class HybridQuantileEngine:
         cache, so blocks touched by one search are free for the next —
         substantially cheaper than issuing the queries separately.
         """
-        started = time.perf_counter()
         io_before = self.disk.stats.counters.snapshot()
         self.disk.stats.set_phase("query")
         partitions, ss, combined = self._query_scope(window_steps)
@@ -448,6 +600,7 @@ class HybridQuantileEngine:
         cache = BlockCache(self.disk, enabled=self.config.block_cache)
         results = []
         for phi in phis:
+            started = time.perf_counter()
             rank = rank_for_phi(phi, total)
             search = AccurateSearch(
                 partitions=partitions,
@@ -470,6 +623,7 @@ class HybridQuantileEngine:
                     disk_accesses=outcome.random_blocks,
                     iterations=outcome.iterations,
                     truncated=outcome.truncated,
+                    # per-query wall time, not cumulative pass time
                     wall_seconds=time.perf_counter() - started,
                     sim_seconds=0.0,
                     window_steps=window_steps,
@@ -479,12 +633,9 @@ class HybridQuantileEngine:
         self.disk.stats.set_phase("load")
         io_delta = self.disk.stats.counters.delta_since(io_before)
         sim = self.disk.latency.seconds(io_delta)
-        results = [
+        if results:
             # total pass cost attributed once, on the final result
-            result if i < len(results) - 1 else
-            QueryResult(**{**result.__dict__, "sim_seconds": sim})
-            for i, result in enumerate(results)
-        ]
+            results[-1] = replace(results[-1], sim_seconds=sim)
         return results
 
     def aggregate(
@@ -498,18 +649,38 @@ class HybridQuantileEngine:
         steps plus the live stream, or a historical ``step_range``
         (stream excluded) — all exact and free of disk access, since
         per-partition aggregates were computed at write time and the
-        live stream's aggregates are maintained incrementally.
+        live stream's aggregates are maintained incrementally.  (The
+        full-union scope stays disk-free even mid-archive: sealed
+        pending batches carry their seal-time aggregates.  Windowed /
+        range scopes with batches still pending stage them first,
+        charging the same write I/O archiving would have.)
         """
+        if step_range is None and window_steps is None:
+            if self._archiver is None:
+                partitions = self.store.partitions()
+                pending = []
+            else:
+                with self.store.layout_lock:
+                    partitions = self.store.partitions()
+                    pending = self._archiver.pending_batches()
+            result = combine(
+                p.stats if p.stats is not None else partition_stats(p)
+                for p in partitions
+            )
+            for batch in pending:
+                result = result.merge(batch.stats)
+            return result.merge(self._stream_stats)
         if step_range is not None:
             if window_steps is not None:
                 raise ValueError("pass window_steps or step_range, not both")
-            partitions = resolve_range(self.store, *step_range)
+            partitions = resolve_range_in(
+                self._queryable_partitions(), *step_range
+            )
             include_stream = False
-        elif window_steps is not None:
-            partitions = resolve_window(self.store, window_steps)
-            include_stream = True
         else:
-            partitions = self.store.partitions()
+            partitions = resolve_window_in(
+                self._queryable_partitions(), window_steps
+            )
             include_stream = True
         result = combine(
             p.stats if p.stats is not None else partition_stats(p)
@@ -520,8 +691,14 @@ class HybridQuantileEngine:
         return result
 
     def available_window_sizes(self) -> List[int]:
-        """Historical window sizes currently answerable (Figure 11)."""
-        return self.store.available_window_sizes()
+        """Historical window sizes currently answerable (Figure 11).
+
+        Mid-archive the pending suffix counts too — a window ending at
+        the last *sealed* step is answerable before archiving finishes.
+        """
+        if self._archiver is None:
+            return self.store.available_window_sizes()
+        return window_sizes_from(self._queryable_partitions())
 
     # ------------------------------------------------------------------
     # Query execution resources
@@ -549,13 +726,17 @@ class HybridQuantileEngine:
         old.close()
 
     def close(self) -> None:
-        """Release the query thread pool (idempotent).
+        """Drain background ingest and release threads (idempotent).
 
-        Serial engines never start a pool, so calling this is only
-        required for long-lived ``query_workers > 1`` deployments that
-        create many engines; the interpreter also joins the pool's
-        threads at exit.
+        The archiver (if any) finishes archiving every enqueued batch
+        before its thread stops, then the query pool is released.
+        Serial, sync-mode engines never start a thread, so calling this
+        is only required for background-mode or ``query_workers > 1``
+        deployments that create many engines; the interpreter also
+        joins remaining threads at exit.
         """
+        if self._archiver is not None:
+            self._archiver.close()
         self._query_executor.close()
 
     def __enter__(self) -> "HybridQuantileEngine":
@@ -569,10 +750,20 @@ class HybridQuantileEngine:
     # ------------------------------------------------------------------
 
     def memory_report(self) -> MemoryReport:
-        """Actual main-memory footprint of all in-memory structures."""
+        """Actual main-memory footprint of all in-memory structures.
+
+        Counts summaries of already-staged pending partitions too, but
+        does not force staging (reporting memory must not perform I/O).
+        """
+        partitions = self.store.partitions()
+        if self._archiver is not None:
+            for batch in self._archiver.pending_batches():
+                partition = batch.partition
+                if partition is not None:
+                    partitions.append(partition)
         hist = sum(
             p.summary.memory_words()
-            for p in self.store.partitions()
+            for p in partitions
             if p.summary is not None
         )
         beta2 = self.config.beta2
@@ -583,9 +774,13 @@ class HybridQuantileEngine:
         )
 
     def check_invariants(self) -> None:
-        """Assert structural invariants of HD and HS (tests/debugging)."""
+        """Assert structural invariants of HD and HS (tests/debugging).
+
+        In background mode the pending partitions are staged and
+        checked too (their summaries obey the same gap invariant).
+        """
         self.store.check_invariant()
-        for partition in self.store.partitions():
+        for partition in self._queryable_partitions():
             summary: PartitionSummary = partition.summary
             if summary is None:
                 raise AssertionError(f"partition {partition!r} lacks summary")

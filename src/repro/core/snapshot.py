@@ -43,14 +43,22 @@ class EngineSnapshot:
     def __init__(self, engine: HybridQuantileEngine) -> None:
         self.config: EngineConfig = engine.config
         self._disk = engine.disk
-        self._partitions: List[Partition] = list(engine.store.partitions())
+        # The engine's combined view — adopted partitions plus any
+        # sealed-but-unmerged pending batches (staged on demand) — so a
+        # snapshot taken mid-archive still covers the full union.
+        self._partitions: List[Partition] = list(
+            engine._queryable_partitions()
+        )
         self._gk = _copy_sketch(engine._gk)
         self._ss: StreamSummary = StreamSummary.extract(
             self._gk, self.config.epsilon2
         )
         self.n_historical = sum(len(p) for p in self._partitions)
         self.m_stream = self._gk.n
-        self.created_at_step = engine.steps_loaded
+        # The snapshot covers everything sealed (including batches the
+        # background archiver has not merged yet), so the step stamp is
+        # the sealed step, not the archived one.
+        self.created_at_step = engine.steps_sealed
 
     @property
     def n_total(self) -> int:

@@ -8,9 +8,14 @@ the window (plus the live stream, which is always part of the window).
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
-from ..warehouse.leveled_store import LeveledStore
+from ..warehouse.leveled_store import (
+    LeveledStore,
+    range_from,
+    window_from,
+    window_sizes_from,
+)
 from ..warehouse.partition import Partition
 
 
@@ -26,6 +31,28 @@ class WindowNotAlignedError(ValueError):
         )
 
 
+def resolve_window_in(
+    ordered: List[Partition],
+    window_steps: int,
+    last_step: Optional[int] = None,
+) -> List[Partition]:
+    """Suffix of ``ordered`` covering exactly the last ``window_steps``.
+
+    Operates on any step-ordered partition list — in particular the
+    engine's combined snapshot of adopted *plus* pending partitions, so
+    windowed queries stay answerable mid-archive.  Raises
+    :class:`WindowNotAlignedError` for unaligned windows; the exception
+    carries the feasible window sizes (the x-axis of the paper's
+    Figure 11).
+    """
+    if last_step is None:
+        last_step = ordered[-1].end_step if ordered else 0
+    partitions = window_from(ordered, last_step, window_steps)
+    if partitions is None:
+        raise WindowNotAlignedError(window_steps, window_sizes_from(ordered))
+    return partitions
+
+
 def resolve_window(store: LeveledStore, window_steps: int) -> List[Partition]:
     """Partitions covering exactly the last ``window_steps`` steps.
 
@@ -33,12 +60,9 @@ def resolve_window(store: LeveledStore, window_steps: int) -> List[Partition]:
     exception carries the feasible window sizes (the x-axis of the
     paper's Figure 11).
     """
-    partitions = store.window_partitions(window_steps)
-    if partitions is None:
-        raise WindowNotAlignedError(
-            window_steps, store.available_window_sizes()
-        )
-    return partitions
+    return resolve_window_in(
+        store.partitions(), window_steps, last_step=store.steps_loaded
+    )
 
 
 class RangeNotAlignedError(ValueError):
@@ -51,6 +75,20 @@ class RangeNotAlignedError(ValueError):
             f"steps [{start_step}, {end_step}] do not align with "
             f"partition boundaries"
         )
+
+
+def resolve_range_in(
+    ordered: List[Partition], start_step: int, end_step: int
+) -> List[Partition]:
+    """Slice of ``ordered`` covering exactly ``[start_step, end_step]``.
+
+    List-based twin of :func:`resolve_range`, usable over the engine's
+    combined adopted-plus-pending snapshot.
+    """
+    partitions = range_from(ordered, start_step, end_step)
+    if partitions is None:
+        raise RangeNotAlignedError(start_step, end_step)
+    return partitions
 
 
 def resolve_range(

@@ -1,0 +1,273 @@
+"""The background archiver thread.
+
+One consumer thread drains sealed batches (:class:`PendingBatch`) into
+the warehouse: stage (sort + write + summary), then adopt (splice into
+the leveled layout, cascading merges and all).  The producing engine
+thread only seals and enqueues, so ``stream_update*`` resumes
+immediately; queries running meanwhile snapshot the layout *plus* the
+pending set under the store's layout lock, so they always see the full
+union exactly once.
+
+Determinism.  Batches are archived strictly in submission order by a
+single thread, and each step's I/O is accounted through per-thread
+captures (:meth:`~repro.storage.stats.DiskStats.capture`), so the
+per-step :class:`ArchiveRecord` stream an ``engine.flush()`` drains is
+identical — answers, I/O counters, layout, invariants — to what the
+synchronous path would have produced, regardless of how queries
+interleaved.
+
+Backpressure.  At most ``max_pending`` batches may be queued; beyond
+that ``submit`` blocks, and the blocked time is the *stall* the
+instrumentation reports (the synchronous path, by comparison, stalls
+for every step's full archive latency).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..storage.stats import PhaseTally
+from ..warehouse.leveled_store import LeveledStore
+from .pending import PendingBatch
+
+
+@dataclass
+class IngestStats:
+    """Cumulative instrumentation of one archiver.
+
+    Attributes
+    ----------
+    batches_enqueued, batches_archived:
+        Lifetime submit / completion counts.
+    max_queue_depth:
+        High-water mark of the pending queue.
+    stall_seconds:
+        Total wall time ``end_time_step`` blocked the stream (seal
+        plus backpressure waits).
+    archive_wall_seconds:
+        Total wall time the archiver spent archiving (stage + adopt).
+    archive_phase_seconds:
+        Archive latency split by phase (``sort`` / ``load`` /
+        ``summary`` / ``merge``), summed across steps.
+    """
+
+    batches_enqueued: int = 0
+    batches_archived: int = 0
+    max_queue_depth: int = 0
+    stall_seconds: float = 0.0
+    archive_wall_seconds: float = 0.0
+    archive_phase_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def note_phases(self, cpu: Dict[str, float]) -> None:
+        """Accumulate one step's per-phase archive latency."""
+        for phase, seconds in cpu.items():
+            self.archive_phase_seconds[phase] = (
+                self.archive_phase_seconds.get(phase, 0.0) + seconds
+            )
+
+
+@dataclass(frozen=True)
+class ArchiveRecord:
+    """Everything one archived step cost — the engine turns this into
+    the :class:`~repro.core.engine.StepReport` that ``flush`` returns.
+    """
+
+    step: int
+    batch_elems: int
+    io: PhaseTally
+    cpu: Dict[str, float]
+    merged_levels: bool
+    stall_seconds: float
+    queue_depth: int
+    archive_wall_seconds: float
+
+
+class BackgroundArchiver:
+    """Single-threaded, in-order background archiving for one store.
+
+    Parameters
+    ----------
+    store:
+        The warehouse the batches land in.  The archiver's condition
+        variable wraps the store's layout lock, so "adopt the staged
+        partition and unlink it from the pending set" is one atomic
+        step relative to query snapshots.
+    max_pending:
+        Backpressure bound: ``submit`` blocks while this many batches
+        are pending.
+    """
+
+    def __init__(self, store: LeveledStore, max_pending: int = 4) -> None:
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self._store = store
+        self._max_pending = max_pending
+        self._cond = threading.Condition(store.layout_lock)
+        self._pending: List[PendingBatch] = []
+        self._records: List[ArchiveRecord] = []
+        self._busy = False
+        self._paused = False
+        self._shutdown = False
+        self._error: Optional[BaseException] = None
+        self.stats = IngestStats()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-ingest", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    # Producer side (the engine thread)
+    # ------------------------------------------------------------------
+
+    def submit(self, batch: PendingBatch) -> "tuple[float, int]":
+        """Enqueue a sealed batch; returns (blocked seconds, depth).
+
+        The batch becomes part of the queryable pending set the moment
+        this returns (atomically with layout snapshots).  Blocks only
+        when ``max_pending`` batches are already queued.
+        """
+        started = time.perf_counter()
+        with self._cond:
+            self._raise_if_failed()
+            while len(self._pending) >= self._max_pending:
+                if self._shutdown:
+                    raise RuntimeError("archiver is closed")
+                self._cond.wait()
+                self._raise_if_failed()
+            if self._shutdown:
+                raise RuntimeError("archiver is closed")
+            self._pending.append(batch)
+            depth = len(self._pending)
+            self.stats.batches_enqueued += 1
+            self.stats.max_queue_depth = max(
+                self.stats.max_queue_depth, depth
+            )
+            self._cond.notify_all()
+        return time.perf_counter() - started, depth
+
+    def pending_batches(self) -> List[PendingBatch]:
+        """Snapshot of the sealed-but-unmerged batches, oldest first."""
+        with self._cond:
+            return list(self._pending)
+
+    @property
+    def queue_depth(self) -> int:
+        """Current number of pending batches."""
+        with self._cond:
+            return len(self._pending)
+
+    def drain(self) -> List[ArchiveRecord]:
+        """Block until every submitted batch is archived.
+
+        Returns the per-step records accumulated since the previous
+        drain, in step order.  Raises the archiver thread's exception
+        if archiving failed.
+        """
+        with self._cond:
+            while (self._pending or self._busy) and self._error is None:
+                if self._paused and self._pending:
+                    raise RuntimeError("cannot drain a paused archiver")
+                self._cond.wait()
+            self._raise_if_failed()
+            records, self._records = self._records, []
+            return records
+
+    def pause(self) -> None:
+        """Suspend archiving (testing/benchmark hook).
+
+        Sealed batches keep accumulating (and stay queryable as pending
+        partitions) until :meth:`resume`; backpressure still applies.
+        """
+        with self._cond:
+            self._paused = True
+
+    def resume(self) -> None:
+        """Resume archiving after :meth:`pause`."""
+        with self._cond:
+            self._paused = False
+            self._cond.notify_all()
+
+    def close(self) -> None:
+        """Drain remaining work and stop the thread (idempotent)."""
+        with self._cond:
+            self._paused = False
+            self._shutdown = True
+            self._cond.notify_all()
+        if self._thread.is_alive():
+            self._thread.join()
+
+    def _raise_if_failed(self) -> None:
+        if self._error is not None:
+            raise RuntimeError(
+                "background archiving failed"
+            ) from self._error
+
+    # ------------------------------------------------------------------
+    # Consumer side (the archiver thread)
+    # ------------------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                while (
+                    (self._paused or not self._pending)
+                    and not self._shutdown
+                ):
+                    self._cond.wait()
+                if not self._pending:
+                    return  # shutdown with nothing left to archive
+                batch = self._pending[0]
+                self._busy = True
+            try:
+                record = self._archive_one(batch)
+            except BaseException as exc:  # surfaced via _raise_if_failed
+                with self._cond:
+                    self._error = exc
+                    self._busy = False
+                    self._cond.notify_all()
+                return
+            with self._cond:
+                self._records.append(record)
+                self._busy = False
+                self.stats.batches_archived += 1
+                self.stats.archive_wall_seconds += (
+                    record.archive_wall_seconds
+                )
+                self.stats.note_phases(record.cpu)
+                self._cond.notify_all()
+
+    def _archive_one(self, batch: PendingBatch) -> ArchiveRecord:
+        """Stage (if a query didn't already) and adopt one batch."""
+        stats = self._store.disk.stats
+        started = time.perf_counter()
+        partition = batch.ensure_staged(self._store)
+        cpu = dict(batch.stage_cpu)
+        with stats.capture() as adopt_io:
+            merge_started = time.perf_counter()
+            with self._cond:
+                # Atomic with respect to layout snapshots: the batch
+                # leaves the pending set in the same critical section
+                # that splices its partition into the layout, so a
+                # query sees it exactly once — pending or adopted.
+                self._store.adopt_partition(partition)
+                self._pending.pop(0)
+                depth_left = len(self._pending)
+                self._cond.notify_all()
+            cpu["merge"] = time.perf_counter() - merge_started
+        io = PhaseTally()
+        if batch.stage_io is not None:
+            io.add(batch.stage_io)
+        io.add(adopt_io)
+        return ArchiveRecord(
+            step=batch.step,
+            batch_elems=batch.size,
+            io=io,
+            cpu=cpu,
+            merged_levels=io.phase("merge").total > 0,
+            stall_seconds=batch.stall_seconds,
+            queue_depth=depth_left,
+            archive_wall_seconds=time.perf_counter() - started,
+        )

@@ -1,0 +1,68 @@
+"""The live-stream append buffer.
+
+The engine used to collect stream elements as a list of one-element
+ndarrays — one allocation (plus a full aggregate merge) per
+``stream_update`` call.  :class:`AppendBuffer` replaces that with a
+single int64 array grown by doubling, so per-element appends are
+amortized O(1) and sealing a time step is one slice copy instead of a
+concatenate over thousands of fragments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_INITIAL_CAPACITY = 1024
+
+
+class AppendBuffer:
+    """A growable int64 array with amortized-O(1) appends."""
+
+    def __init__(self, capacity: int = _INITIAL_CAPACITY) -> None:
+        self._data = np.empty(max(1, capacity), dtype=np.int64)
+        self._len = 0
+
+    def __len__(self) -> int:
+        return self._len
+
+    def _grow_to(self, needed: int) -> None:
+        capacity = len(self._data)
+        if needed <= capacity:
+            return
+        while capacity < needed:
+            capacity *= 2
+        grown = np.empty(capacity, dtype=np.int64)
+        grown[: self._len] = self._data[: self._len]
+        self._data = grown
+
+    def append(self, value: int) -> None:
+        """Append one element (amortized O(1))."""
+        self._grow_to(self._len + 1)
+        self._data[self._len] = value
+        self._len += 1
+
+    def extend(self, values: np.ndarray) -> None:
+        """Append a batch of elements in one copy."""
+        size = int(values.size)
+        if size == 0:
+            return
+        self._grow_to(self._len + size)
+        self._data[self._len : self._len + size] = values
+        self._len += size
+
+    def view(self) -> np.ndarray:
+        """Read-only view of the buffered elements (no copy)."""
+        view = self._data[: self._len].view()
+        view.flags.writeable = False
+        return view
+
+    def take(self) -> np.ndarray:
+        """Return a copy of the contents and reset the buffer.
+
+        The backing capacity is retained, so a steady-state engine
+        sealing equal-sized batches stops allocating after the first
+        step.
+        """
+        sealed = self._data[: self._len].copy()
+        self._len = 0
+        return sealed

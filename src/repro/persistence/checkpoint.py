@@ -22,6 +22,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..core.aggregates import AggregateStats
 from ..core.config import EngineConfig
 from ..core.engine import HybridQuantileEngine
 from ..storage.disk import SimulatedDisk
@@ -36,17 +37,18 @@ WAREHOUSE_DIR = "warehouse"
 
 
 def save_engine(engine: HybridQuantileEngine, directory: "str | Path") -> Path:
-    """Checkpoint ``engine`` into ``directory``; returns its path."""
+    """Checkpoint ``engine`` into ``directory``; returns its path.
+
+    Background-mode engines are flushed first, so every sealed batch is
+    fully archived before the warehouse is written; the checkpoint has
+    no notion of in-flight archive work.
+    """
+    engine.flush()
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     save_store(engine.store, directory / WAREHOUSE_DIR)
     (directory / SKETCH_FILE).write_bytes(dump_gk(engine._gk))
-    buffer = (
-        np.concatenate(engine._stream_chunks)
-        if engine._stream_chunks
-        else np.empty(0, dtype=np.int64)
-    )
-    np.save(directory / BUFFER_FILE, buffer)
+    np.save(directory / BUFFER_FILE, np.asarray(engine._buffer.view()))
     state = {
         "format": _ENGINE_FORMAT,
         "config": asdict(engine.config),
@@ -91,7 +93,8 @@ def load_engine(
     )
     engine._gk = load_gk((directory / SKETCH_FILE).read_bytes())
     buffer = np.load(directory / BUFFER_FILE)
-    engine._stream_chunks = [buffer] if buffer.size else []
+    engine._buffer.extend(buffer)
+    engine._stream_stats = AggregateStats.of_array(buffer)
     engine._m = int(buffer.size)
     if engine._m != int(state["stream_elems"]):
         raise PersistenceError(

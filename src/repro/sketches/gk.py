@@ -53,6 +53,9 @@ class GKSketch(QuantileSketch):
         self._n = 0
         self._compress_every = max(1, int(1.0 / (2.0 * epsilon)))
         self._since_compress = 0
+        # Cached (values, rmin, rmax) arrays for the vectorized query
+        # path; rebuilt lazily after any mutation.
+        self._query_arrays: "Tuple[np.ndarray, np.ndarray, np.ndarray] | None" = None
 
     @property
     def n(self) -> int:
@@ -75,6 +78,7 @@ class GKSketch(QuantileSketch):
         self._g.insert(pos, 1)
         self._delta.insert(pos, delta)
         self._n += 1
+        self._query_arrays = None
         self._since_compress += 1
         if self._since_compress >= self._compress_every:
             self._compress()
@@ -163,6 +167,7 @@ class GKSketch(QuantileSketch):
         self._values = [int(v) for v in values[keep]]
         self._g = [int(x) for x in g[keep]]
         self._delta = [int(x) for x in delta[keep]]
+        self._query_arrays = None
 
     def _compress(self) -> None:
         """Merge adjacent tuples whose combined span stays within bound.
@@ -195,10 +200,28 @@ class GKSketch(QuantileSketch):
         self._values = out_vals
         self._g = out_g
         self._delta = out_delta
+        self._query_arrays = None
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+
+    def _arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Cached ``(values, rmin, rmax)`` arrays of the current tuples.
+
+        ``rmin`` is the cumulative sum of the gaps and ``rmax`` adds
+        each tuple's ``delta``; both queries below reduce to vectorized
+        comparisons against these.  The cache is invalidated by every
+        mutation and rebuilt on the next query, so query-heavy phases
+        (the accurate search probes the live sketch once per bisection
+        step) pay the ``O(s)`` construction once, not per probe.
+        """
+        if self._query_arrays is None:
+            values = np.asarray(self._values, dtype=np.int64)
+            rmin = np.cumsum(np.asarray(self._g, dtype=np.int64))
+            rmax = rmin + np.asarray(self._delta, dtype=np.int64)
+            self._query_arrays = (values, rmin, rmax)
+        return self._query_arrays
 
     def query_rank(self, rank: int) -> int:
         """Value whose true rank is within ``eps * n`` of ``rank``."""
@@ -206,12 +229,13 @@ class GKSketch(QuantileSketch):
             raise ValueError("sketch is empty")
         rank = clamp_rank(rank, self._n)
         allowed = self.epsilon * self._n
-        rmin = 0
-        for i, g in enumerate(self._g):
-            rmin += g
-            if rmin + self._delta[i] > rank + allowed:
-                return self._values[max(0, i - 1)]
-        return self._values[-1]
+        _, _, rmax = self._arrays()
+        # First tuple whose upper rank bound overshoots the target.
+        exceeds = rmax > rank + allowed
+        if not exceeds.any():
+            return self._values[-1]
+        first = int(np.argmax(exceeds))
+        return self._values[max(0, first - 1)]
 
     def rank_bounds(self, value: int) -> Tuple[int, int]:
         """Bounds ``(rmin, rmax)`` on the rank of an arbitrary ``value``.
@@ -221,14 +245,14 @@ class GKSketch(QuantileSketch):
         """
         if self._n == 0:
             return (0, 0)
-        rmin = 0
-        last_rmin = 0
-        for i, v in enumerate(self._values):
-            rmin += self._g[i]
-            if v > value:
-                return (last_rmin, max(last_rmin, rmin + self._delta[i] - 1))
-            last_rmin = rmin
-        return (last_rmin, self._n)
+        values, rmin, rmax = self._arrays()
+        # First tuple strictly greater than ``value``; its predecessor's
+        # cumulative gap is the lower bound.
+        first = int(np.searchsorted(values, value, side="right"))
+        lower = int(rmin[first - 1]) if first > 0 else 0
+        if first >= len(values):
+            return (lower, self._n)
+        return (lower, max(lower, int(rmax[first]) - 1))
 
     def min_value(self) -> int:
         """Exact minimum of the stream so far."""

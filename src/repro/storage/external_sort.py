@@ -88,22 +88,64 @@ class ExternalSorter:
         return SortedRun(self._disk, self.sorted_array(data), charge_write=True)
 
 
+def _merge_two_sorted(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Merge two sorted arrays in one vectorized interleaving pass.
+
+    Each element of ``b`` lands at ``searchsorted(a, b) + its own
+    index`` in the output; the remaining slots take ``a`` in order.
+    Equal values keep ``a``'s copies first (``side="right"``), which is
+    irrelevant for the int64 values stored here but keeps the operation
+    a textbook stable merge.
+    """
+    if not len(a):
+        return b
+    if not len(b):
+        return a
+    out = np.empty(len(a) + len(b), dtype=np.int64)
+    positions = np.searchsorted(a, b, side="right")
+    positions += np.arange(len(b), dtype=positions.dtype)
+    from_a = np.ones(len(out), dtype=bool)
+    from_a[positions] = False
+    out[positions] = b
+    out[from_a] = a
+    return out
+
+
+def kway_merge(arrays: Sequence[np.ndarray]) -> np.ndarray:
+    """Merge already-sorted arrays into one sorted array.
+
+    A balanced tournament of pairwise merges: ``ceil(log2 k)`` rounds,
+    each moving every element once — ``O(n log k)`` work instead of the
+    ``O(n log n)`` of concatenating and fully re-sorting, and the gap
+    widens exactly where it matters (high-fan-in level merges with
+    large kappa).
+    """
+    parts = [np.asarray(a, dtype=np.int64) for a in arrays if len(a)]
+    if not parts:
+        return np.empty(0, dtype=np.int64)
+    while len(parts) > 1:
+        merged = [
+            _merge_two_sorted(parts[i], parts[i + 1])
+            for i in range(0, len(parts) - 1, 2)
+        ]
+        if len(parts) % 2:
+            merged.append(parts[-1])
+        parts = merged
+    return parts[0]
+
+
 def merge_runs(disk: SimulatedDisk, runs: Sequence[SortedRun]) -> SortedRun:
     """Multi-way merge sorted runs into a single run (Alg. 3 line 10).
 
     One sequential pass: every input block is read once, every output
-    block written once.
+    block written once.  The in-memory data movement is a true k-way
+    merge (:func:`kway_merge`) of the already-sorted inputs.
     """
     if not runs:
         raise ValueError("nothing to merge")
-    total = 0
     parts = []
     for run in runs:
         disk.charge_sequential_read(len(run))
         parts.append(run.values)
-        total += len(run)
-    if total:
-        merged = np.sort(np.concatenate(parts), kind="stable")
-    else:
-        merged = np.empty(0, dtype=np.int64)
+    merged = kway_merge(parts)
     return SortedRun(disk, merged, charge_write=True)

@@ -10,10 +10,17 @@ benchmarks can report a "time" axis comparable in shape to the paper's
 wall-clock figures.
 
 Thread safety: :class:`DiskStats` serializes every ``record_*`` call
-behind a lock, so the parallel query executor (``repro.query``) and
-callers driving one engine from several threads never lose counts to a
-torn ``+=``.  Snapshots (:meth:`IoCounters.snapshot`) are taken on the
-coordinating thread between fan-outs, not concurrently with them.
+behind a lock, so the parallel query executor (``repro.query``), the
+background ingest archiver (``repro.ingest``) and callers driving one
+engine from several threads never lose counts to a torn ``+=``.  The
+*phase* a charge is attributed to is tracked per thread: a query thread
+running in the ``"query"`` phase and the archiver thread running in the
+``"merge"`` phase each keep their own attribution, so the per-phase
+split stays exact under concurrency.  Snapshots
+(:meth:`IoCounters.snapshot`) are taken on the coordinating thread
+between fan-outs, not concurrently with them; for concurrent-safe
+per-operation accounting use :meth:`DiskStats.capture`, which tallies
+only the charges made by the capturing thread.
 """
 
 from __future__ import annotations
@@ -21,6 +28,11 @@ from __future__ import annotations
 import threading
 
 from dataclasses import dataclass, field
+from typing import Iterator, List
+
+from contextlib import contextmanager
+
+PHASES = ("load", "sort", "merge", "query")
 
 
 @dataclass
@@ -102,6 +114,30 @@ class DiskLatencyModel:
         )
 
 
+class PhaseTally:
+    """Per-phase I/O tally filled in by :meth:`DiskStats.capture`.
+
+    One :class:`IoCounters` per maintenance phase plus a grand total —
+    the same shape as :class:`DiskStats` itself, but private to the
+    capturing thread, so concurrent activity on other threads never
+    leaks into it.
+    """
+
+    def __init__(self) -> None:
+        self.total = IoCounters()
+        self.by_phase = {phase: IoCounters() for phase in PHASES}
+
+    def phase(self, phase: str) -> IoCounters:
+        """The tally of one phase."""
+        return self.by_phase[phase]
+
+    def add(self, other: "PhaseTally") -> None:
+        """Accumulate another capture into this one."""
+        self.total.add(other.total)
+        for phase in PHASES:
+            self.by_phase[phase].add(other.by_phase[phase])
+
+
 @dataclass
 class DiskStats:
     """Aggregated statistics for one simulated disk.
@@ -116,36 +152,93 @@ class DiskStats:
     merge: IoCounters = field(default_factory=IoCounters)
     query: IoCounters = field(default_factory=IoCounters)
 
-    _phase: str = "load"
+    _local: threading.local = field(
+        default_factory=threading.local, repr=False, compare=False
+    )
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
 
     def set_phase(self, phase: str) -> None:
-        """Direct subsequent accesses to the named phase sub-tally.
+        """Direct this thread's subsequent accesses to a phase sub-tally.
 
         ``phase`` must be one of ``"load"``, ``"sort"``, ``"merge"`` or
-        ``"query"``.
+        ``"query"``.  The phase is per-thread (threads that never call
+        ``set_phase`` charge to ``"load"``): the archiver thread can be
+        mid-merge while query threads attribute their own charges to
+        ``"query"``, and neither misdirects the other's counts.
         """
-        if phase not in ("load", "sort", "merge", "query"):
+        if phase not in PHASES:
             raise ValueError(f"unknown I/O phase: {phase!r}")
-        with self._lock:
-            self._phase = phase
+        self._local.phase = phase
+
+    @property
+    def current_phase(self) -> str:
+        """The phase this thread currently charges to."""
+        return getattr(self._local, "phase", "load")
+
+    @contextmanager
+    def phase_scope(self, phase: str) -> Iterator[None]:
+        """Run a block under ``phase``, restoring this thread's phase after.
+
+        Lets a query thread that steals staging work (see
+        ``repro.ingest``) charge the sort/write correctly without
+        clobbering its own ``"query"`` attribution.
+        """
+        previous = self.current_phase
+        self.set_phase(phase)
+        try:
+            yield
+        finally:
+            self.set_phase(previous)
 
     def _bucket(self) -> IoCounters:
-        return getattr(self, self._phase)
+        return getattr(self, self.current_phase)
+
+    def _captures(self) -> "List[PhaseTally]":
+        stack = getattr(self._local, "captures", None)
+        if stack is None:
+            stack = []
+            self._local.captures = stack
+        return stack
+
+    @contextmanager
+    def capture(self) -> Iterator[PhaseTally]:
+        """Tally the charges made *by this thread* inside the block.
+
+        Unlike a ``snapshot``/``delta_since`` pair on the global
+        counters, a capture is immune to concurrent charges from other
+        threads, so the background archiver can account one time step's
+        I/O exactly while queries (or another staging thread) charge the
+        same disk.  Captures nest; each level sees its own charges plus
+        those of any inner capture.
+        """
+        tally = PhaseTally()
+        stack = self._captures()
+        stack.append(tally)
+        try:
+            yield tally
+        finally:
+            stack.pop()
+
+    def _record(self, kind: str, blocks: int, phase: "str | None" = None) -> None:
+        bucket = getattr(self, phase) if phase is not None else self._bucket()
+        effective = phase if phase is not None else self.current_phase
+        with self._lock:
+            setattr(self.counters, kind, getattr(self.counters, kind) + blocks)
+            setattr(bucket, kind, getattr(bucket, kind) + blocks)
+        for tally in self._captures():
+            setattr(tally.total, kind, getattr(tally.total, kind) + blocks)
+            phase_bucket = tally.by_phase[effective]
+            setattr(phase_bucket, kind, getattr(phase_bucket, kind) + blocks)
 
     def record_sequential_read(self, blocks: int = 1) -> None:
         """Tally sequential block reads (atomic)."""
-        with self._lock:
-            self.counters.sequential_reads += blocks
-            self._bucket().sequential_reads += blocks
+        self._record("sequential_reads", blocks)
 
     def record_sequential_write(self, blocks: int = 1) -> None:
         """Tally sequential block writes (atomic)."""
-        with self._lock:
-            self.counters.sequential_writes += blocks
-            self._bucket().sequential_writes += blocks
+        self._record("sequential_writes", blocks)
 
     def record_random_read(self, blocks: int = 1) -> None:
         """Tally random block reads (atomic).
@@ -153,10 +246,7 @@ class DiskStats:
         Random I/O is definitionally query-phase in this system
         (Lemma 7: the only random accesses are query-time probes), so
         it is attributed to the ``query`` sub-tally directly rather
-        than through the mutable current phase — keeping the per-phase
-        split exact even when several query threads run concurrently
-        while another thread's load flips the phase flag.
+        than through the thread's current phase — keeping the per-phase
+        split exact even for callers that never set a phase.
         """
-        with self._lock:
-            self.counters.random_reads += blocks
-            self.query.random_reads += blocks
+        self._record("random_reads", blocks, phase="query")

@@ -14,7 +14,11 @@ under a fixed memory budget.
 :class:`LeveledCompactionStore` is a drop-in replacement for
 :class:`~repro.warehouse.leveled_store.LeveledStore`; the
 ``benchmarks/test_ablation_compaction.py`` ablation measures the
-tradeoff on identical workloads.
+tradeoff on identical workloads.  It inherits the stage/adopt split
+used by the background ingest pipeline (``repro.ingest``) unchanged:
+``stage_partition`` never touches the layout, and ``adopt_partition``
+drives this class's overridden ``_make_room``, so leveled compaction
+cascades run off the hot path exactly like tiered merges do.
 """
 
 from __future__ import annotations
@@ -87,7 +91,7 @@ class LeveledCompactionStore(LeveledStore):
         self.disk.stats.set_phase("merge")
         started = time.perf_counter()
         merged_run = merge_runs(self.disk, [p.run for p in victims])
-        self.cpu_seconds["merge"] += time.perf_counter() - started
+        self._note_cpu("merge", time.perf_counter() - started)
         self.disk.stats.set_phase("load")
         merged = Partition(
             level=level,

@@ -27,9 +27,67 @@ import numpy as np
 from ..storage.disk import SimulatedDisk
 from ..storage.external_sort import ExternalSorter, merge_runs
 from ..storage.runfile import SortedRun
+from ..storage.stats import PhaseTally
 from .partition import Partition
 
 SummaryBuilder = Callable[[Partition], Any]
+
+
+def window_from(
+    ordered: Sequence[Partition], last_step: int, window_steps: int
+) -> Optional[List[Partition]]:
+    """Suffix of ``ordered`` covering exactly the last ``window_steps``.
+
+    The list-based core of :meth:`LeveledStore.window_partitions`, also
+    used by the engine over a consistent snapshot that appends pending
+    (sealed but not yet merged) partitions to the store's layout.
+    """
+    if window_steps == 0:
+        return []
+    target_start = last_step - window_steps + 1
+    if target_start < 1:
+        return None
+    suffix: List[Partition] = []
+    for partition in reversed(ordered):
+        suffix.append(partition)
+        if partition.start_step == target_start:
+            suffix.reverse()
+            return suffix
+        if partition.start_step < target_start:
+            return None
+    return None
+
+
+def range_from(
+    ordered: Sequence[Partition], start_step: int, end_step: int
+) -> Optional[List[Partition]]:
+    """Partitions of ``ordered`` covering exactly ``[start_step, end_step]``."""
+    if start_step < 1 or end_step < start_step:
+        return None
+    selected: List[Partition] = []
+    for partition in ordered:
+        if partition.end_step < start_step:
+            continue
+        if partition.start_step > end_step:
+            break
+        selected.append(partition)
+    if not selected:
+        return None
+    if selected[0].start_step != start_step:
+        return None
+    if selected[-1].end_step != end_step:
+        return None
+    return selected
+
+
+def window_sizes_from(ordered: Sequence[Partition]) -> List[int]:
+    """Suffix sums of partition step-counts, newest first (Figure 11)."""
+    sizes: List[int] = []
+    total = 0
+    for partition in reversed(ordered):
+        total += partition.num_steps
+        sizes.append(total)
+    return sizes
 
 
 class LeveledStore:
@@ -76,8 +134,26 @@ class LeveledStore:
         self._layout_lock = threading.RLock()
         # Cumulative wall-clock seconds by maintenance phase; the
         # engine snapshots this to break update time into the
-        # load/sort/merge/summary components of Figure 6.
+        # load/sort/merge/summary components of Figure 6.  Staging can
+        # run on whichever thread needs the partition first (archiver
+        # or a query stealing the work — see repro.ingest), so the
+        # accumulation is guarded by its own small lock.
         self.cpu_seconds: Dict[str, float] = defaultdict(float)
+        self._cpu_lock = threading.Lock()
+
+    @property
+    def layout_lock(self) -> threading.RLock:
+        """The lock serializing layout mutations and snapshots.
+
+        Exposed so the background archiver can make "adopt a staged
+        partition + unlink it from the pending set" one atomic step
+        relative to query snapshots.
+        """
+        return self._layout_lock
+
+    def _note_cpu(self, phase: str, seconds: float) -> None:
+        with self._cpu_lock:
+            self.cpu_seconds[phase] += seconds
 
     # ------------------------------------------------------------------
     # Maintenance (Algorithm 3)
@@ -98,7 +174,7 @@ class LeveledStore:
             sorted_batch = self._sorter.sorted_array(
                 np.asarray(data, dtype=np.int64)
             )
-            self.cpu_seconds["sort"] += time.perf_counter() - started
+            self._note_cpu("sort", time.perf_counter() - started)
             self.disk.stats.set_phase("load")
             run = SortedRun(self.disk, sorted_batch, charge_write=True)
             partition = Partition(
@@ -108,6 +184,61 @@ class LeveledStore:
             self._levels[0].append(partition)
             self._steps_loaded = max(self._steps_loaded, step)
             return partition
+
+    def stage_partition(
+        self, data: np.ndarray, step: int
+    ) -> "tuple[Partition, PhaseTally, Dict[str, float]]":
+        """Sort, persist and summarize a batch *without* inserting it.
+
+        The background ingest path (``repro.ingest``): a sealed batch
+        becomes a fully queryable level-0 partition — sorted run on
+        disk, summary and aggregates attached — while the leveled
+        layout stays untouched, so no layout lock is taken and queries
+        can keep snapshotting.  :meth:`adopt_partition` later splices
+        it into the layout (triggering any cascade) under the lock.
+
+        Charges exactly the sort passes and the sequential write that
+        :meth:`add_batch` charges, and returns the partition together
+        with this thread's I/O tally and per-phase CPU seconds so the
+        archiver can assemble a per-step report that matches the
+        synchronous path bit for bit.
+        """
+        cpu: Dict[str, float] = {}
+        with self.disk.stats.capture() as tally:
+            with self.disk.stats.phase_scope("sort"):
+                started = time.perf_counter()
+                sorted_batch = self._sorter.sorted_array(
+                    np.asarray(data, dtype=np.int64)
+                )
+                cpu["sort"] = time.perf_counter() - started
+            with self.disk.stats.phase_scope("load"):
+                started = time.perf_counter()
+                run = SortedRun(self.disk, sorted_batch, charge_write=True)
+                partition = Partition(
+                    level=0, start_step=step, end_step=step, run=run
+                )
+                cpu["load"] = time.perf_counter() - started
+                started = time.perf_counter()
+                self._attach_summary(partition)
+                cpu["summary"] = time.perf_counter() - started
+        self._note_cpu("sort", cpu["sort"])
+        return partition, tally, cpu
+
+    def adopt_partition(self, partition: Partition) -> None:
+        """Insert a staged level-0 partition into the layout.
+
+        Runs the same cascade :meth:`add_batch` would (merging full
+        levels before the insertion), under the layout lock so
+        concurrent snapshots see either the pre- or post-adoption
+        layout, never a half-merged one.
+        """
+        if partition.level != 0:
+            raise ValueError("only level-0 partitions can be adopted")
+        with self._layout_lock:
+            self._make_room(0)
+            self.disk.stats.set_phase("load")
+            self._levels[0].append(partition)
+            self._steps_loaded = max(self._steps_loaded, partition.end_step)
 
     def _make_room(self, level: int) -> None:
         """Ensure ``level`` has a free slot, merging upward if needed."""
@@ -124,7 +255,7 @@ class LeveledStore:
         self.disk.stats.set_phase("merge")
         started = time.perf_counter()
         merged_run = merge_runs(self.disk, [p.run for p in victims])
-        self.cpu_seconds["merge"] += time.perf_counter() - started
+        self._note_cpu("merge", time.perf_counter() - started)
         self.disk.stats.set_phase("load")
         merged = Partition(
             level=level + 1,
@@ -140,7 +271,7 @@ class LeveledStore:
         if self._summary_builder is not None:
             started = time.perf_counter()
             partition.summary = self._summary_builder(partition)
-            self.cpu_seconds["summary"] += time.perf_counter() - started
+            self._note_cpu("summary", time.perf_counter() - started)
 
     def load_partitions(
         self, partitions_by_level: List[List[Partition]]
@@ -238,20 +369,7 @@ class LeveledStore:
         aligned with a partition boundary; returns ``None`` otherwise.
         A window of 0 steps is the empty list (stream only).
         """
-        if window_steps == 0:
-            return []
-        target_start = self._steps_loaded - window_steps + 1
-        if target_start < 1:
-            return None
-        suffix: List[Partition] = []
-        for partition in reversed(self.partitions()):
-            suffix.append(partition)
-            if partition.start_step == target_start:
-                suffix.reverse()
-                return suffix
-            if partition.start_step < target_start:
-                return None
-        return None
+        return window_from(self.partitions(), self._steps_loaded, window_steps)
 
     def range_partitions(
         self, start_step: int, end_step: int
@@ -262,22 +380,7 @@ class LeveledStore:
         ranges; returns ``None`` unless both endpoints align with
         partition boundaries.
         """
-        if start_step < 1 or end_step < start_step:
-            return None
-        selected: List[Partition] = []
-        for partition in self.partitions():
-            if partition.end_step < start_step:
-                continue
-            if partition.start_step > end_step:
-                break
-            selected.append(partition)
-        if not selected:
-            return None
-        if selected[0].start_step != start_step:
-            return None
-        if selected[-1].end_step != end_step:
-            return None
-        return selected
+        return range_from(self.partitions(), start_step, end_step)
 
     def available_window_sizes(self) -> List[int]:
         """All historical window sizes answerable at the current state.
@@ -285,9 +388,4 @@ class LeveledStore:
         These are the suffix sums of partition step-counts, newest
         first — the x-axis of Figure 11.
         """
-        sizes: List[int] = []
-        total = 0
-        for partition in reversed(self.partitions()):
-            total += partition.num_steps
-            sizes.append(total)
-        return sizes
+        return window_sizes_from(self.partitions())

@@ -11,7 +11,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import EngineConfig, ExactQuantiles, HybridQuantileEngine
-from repro.evaluation import measure
 
 from ..conftest import fill_engine
 

@@ -89,3 +89,27 @@ class TestParallelLatency:
             engine.disk.latency.seconds_per_random_block
         )
         assert parallel_blocks <= serial / 2
+
+
+class TestBatchedQueryTiming:
+    def test_wall_seconds_is_per_query_not_cumulative(self, rng):
+        """Each result reports its own wall time, so the sum over the
+        batch cannot exceed the whole pass's elapsed time."""
+        import time
+
+        engine, _ = build(rng)
+        started = time.perf_counter()
+        results = engine.quantiles(PHIS)
+        elapsed = time.perf_counter() - started
+        assert sum(r.wall_seconds for r in results) <= elapsed
+        assert all(r.wall_seconds >= 0.0 for r in results)
+
+    def test_sim_seconds_attributed_once_on_last(self, rng):
+        engine, _ = build(rng)
+        results = engine.quantiles(PHIS)
+        assert all(r.sim_seconds == 0.0 for r in results[:-1])
+        assert results[-1].sim_seconds > 0.0
+
+    def test_empty_phi_list(self, rng):
+        engine, _ = build(rng)
+        assert engine.quantiles([]) == []

@@ -1,6 +1,5 @@
 """Tests for windowed queries (Section 2.4)."""
 
-import numpy as np
 import pytest
 
 from repro import ExactQuantiles, HybridQuantileEngine, WindowNotAlignedError

@@ -219,3 +219,94 @@ class TestGKProperty:
         sketch = GKSketch(eps)
         sketch.update_batch(np.asarray(data, dtype=np.int64))
         assert_gk_guarantee(sketch, data)
+
+
+def _loop_query_rank(sketch, rank):
+    """The original O(s) loop implementation, kept as a reference."""
+    from repro.sketches.base import clamp_rank
+
+    rank = clamp_rank(rank, sketch.n)
+    allowed = sketch.epsilon * sketch.n
+    rmin = 0
+    for i, g in enumerate(sketch._g):
+        rmin += g
+        if rmin + sketch._delta[i] > rank + allowed:
+            return sketch._values[max(0, i - 1)]
+    return sketch._values[-1]
+
+
+def _loop_rank_bounds(sketch, value):
+    """The original O(s) loop implementation, kept as a reference."""
+    if sketch.n == 0:
+        return (0, 0)
+    rmin = 0
+    last_rmin = 0
+    for i, v in enumerate(sketch._values):
+        rmin += sketch._g[i]
+        if v > value:
+            return (last_rmin, max(last_rmin, rmin + sketch._delta[i] - 1))
+        last_rmin = rmin
+    return (last_rmin, sketch.n)
+
+
+class TestVectorizedQueriesMatchLoops:
+    """The cached-array query paths must agree with the loop reference."""
+
+    @given(
+        values=st.lists(
+            st.integers(-(2**40), 2**40), min_size=1, max_size=400
+        ),
+        epsilon=st.sampled_from([0.001, 0.01, 0.1]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_query_rank_equivalence(self, values, epsilon):
+        sketch = GKSketch(epsilon)
+        for value in values:
+            sketch.update(value)
+        for rank in {1, len(values) // 3, len(values) // 2, len(values)}:
+            assert sketch.query_rank(rank) == _loop_query_rank(sketch, rank)
+
+    @given(
+        values=st.lists(
+            st.integers(-1000, 1000), min_size=1, max_size=300
+        ),
+        probes=st.lists(st.integers(-1100, 1100), min_size=1, max_size=20),
+        epsilon=st.sampled_from([0.01, 0.1]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_rank_bounds_equivalence(self, values, probes, epsilon):
+        sketch = GKSketch(epsilon)
+        for value in values:
+            sketch.update(value)
+        for probe in probes:
+            assert sketch.rank_bounds(probe) == _loop_rank_bounds(
+                sketch, probe
+            )
+
+    def test_equivalence_after_batch_updates(self):
+        rng = np.random.default_rng(5)
+        sketch = GKSketch(0.01)
+        for _ in range(5):
+            sketch.update_batch(rng.integers(0, 10**6, size=2000))
+            # interleave scalar updates so both mutation paths invalidate
+            for value in rng.integers(0, 10**6, size=10):
+                sketch.update(int(value))
+            for rank in (1, sketch.n // 2, sketch.n):
+                assert sketch.query_rank(rank) == _loop_query_rank(
+                    sketch, rank
+                )
+            for probe in rng.integers(0, 10**6, size=10):
+                assert sketch.rank_bounds(int(probe)) == _loop_rank_bounds(
+                    sketch, int(probe)
+                )
+
+    def test_cache_invalidated_by_update(self):
+        sketch = GKSketch(0.1)
+        sketch.update_batch(np.arange(1000))
+        first = sketch.query_rank(500)
+        assert sketch._query_arrays is not None
+        sketch.update(10**9)  # must invalidate the cached arrays
+        assert sketch._query_arrays is None
+        assert sketch.rank_bounds(10**9)[1] == sketch.n
+        assert sketch.query_rank(500) == _loop_query_rank(sketch, 500)
+        assert isinstance(first, int)

@@ -94,3 +94,104 @@ class TestDiskStats:
         assert stats.counters.sequential_reads == 7
         assert stats.counters.sequential_writes == 1
         assert stats.sort.sequential_reads == 7
+
+
+class TestThreadLocalPhases:
+    def test_phase_is_per_thread(self):
+        import threading
+
+        stats = DiskStats()
+        stats.set_phase("merge")
+        seen = {}
+
+        def worker():
+            seen["initial"] = stats.current_phase
+            stats.set_phase("query")
+            stats.record_random_read(1)
+            stats.record_sequential_read(2)
+            seen["final"] = stats.current_phase
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        # the worker defaulted to "load", not this thread's "merge"
+        assert seen == {"initial": "load", "final": "query"}
+        assert stats.current_phase == "merge"
+        # and its charges went to its own phase
+        assert stats.query.random_reads == 1
+        assert stats.query.sequential_reads == 2
+        assert stats.merge.total == 0
+
+    def test_phase_scope_restores(self):
+        stats = DiskStats()
+        stats.set_phase("query")
+        with stats.phase_scope("sort"):
+            stats.record_sequential_read(3)
+            assert stats.current_phase == "sort"
+        assert stats.current_phase == "query"
+        assert stats.sort.sequential_reads == 3
+
+
+class TestCapture:
+    def test_capture_tallies_own_thread_only(self):
+        import threading
+
+        stats = DiskStats()
+        inside = threading.Event()
+        done = threading.Event()
+
+        def noise():
+            inside.wait(timeout=5)
+            stats.set_phase("merge")
+            stats.record_sequential_write(100)
+            done.set()
+
+        thread = threading.Thread(target=noise)
+        thread.start()
+        with stats.capture() as tally:
+            stats.set_phase("sort")
+            stats.record_sequential_read(4)
+            inside.set()
+            done.wait(timeout=5)
+            stats.record_sequential_write(2)
+        thread.join()
+        # the concurrent thread's 100 writes are absent from the tally
+        assert tally.total.sequential_reads == 4
+        assert tally.total.sequential_writes == 2
+        assert tally.phase("sort").sequential_reads == 4
+        assert tally.phase("sort").sequential_writes == 2
+        # ...but present in the global counters
+        assert stats.counters.sequential_writes == 102
+
+    def test_captures_nest(self):
+        stats = DiskStats()
+        with stats.capture() as outer:
+            stats.record_sequential_read(1)
+            with stats.capture() as inner:
+                stats.record_sequential_read(2)
+        assert inner.total.sequential_reads == 2
+        assert outer.total.sequential_reads == 3
+
+    def test_random_reads_attributed_to_query_phase(self):
+        stats = DiskStats()
+        stats.set_phase("merge")
+        with stats.capture() as tally:
+            stats.record_random_read(5)
+        assert tally.phase("query").random_reads == 5
+        assert tally.phase("merge").total == 0
+
+    def test_tally_add(self):
+        from repro.storage.stats import PhaseTally
+
+        stats = DiskStats()
+        with stats.capture() as first:
+            stats.record_sequential_read(1)
+        with stats.capture() as second:
+            with stats.phase_scope("merge"):
+                stats.record_sequential_write(2)
+        combined = PhaseTally()
+        combined.add(first)
+        combined.add(second)
+        assert combined.total.total == 3
+        assert combined.phase("load").sequential_reads == 1
+        assert combined.phase("merge").sequential_writes == 2
