@@ -31,6 +31,16 @@ from .core import (
     WindowNotAlignedError,
     epsilon_for_budget,
 )
+from .faults import (
+    CorruptedBlockError,
+    DiskFault,
+    FaultPlan,
+    FaultyDisk,
+    ReliabilityReport,
+    RetryPolicy,
+    TransientReadError,
+    TransientWriteError,
+)
 from .query import QueryExecutor, QueryPlanner
 from .sketches import (
     ExactQuantiles,
@@ -64,6 +74,14 @@ __all__ = [
     "StepReport",
     "WindowNotAlignedError",
     "epsilon_for_budget",
+    "CorruptedBlockError",
+    "DiskFault",
+    "FaultPlan",
+    "FaultyDisk",
+    "ReliabilityReport",
+    "RetryPolicy",
+    "TransientReadError",
+    "TransientWriteError",
     "QueryExecutor",
     "QueryPlanner",
     "ExactQuantiles",

@@ -8,15 +8,23 @@ Operates a persistent engine checkpoint directory::
     python -m repro query  /tmp/wh --phi 0.5 0.95 0.99
     python -m repro query  /tmp/wh --phi 0.5 --window 7
     python -m repro status /tmp/wh
+    python -m repro fsck   /tmp/wh --repair            # verify checkpoint
     python -m repro demo --steps 20                    # self-contained tour
 
 ``ingest`` accepts ``.npy`` files, whitespace/newline-separated text
 files, or ``-`` for numbers on stdin.
+
+Fault injection: ``ingest``, ``query`` and ``demo`` accept
+``--fault-plan`` (inline JSON or a file path — see
+:class:`repro.faults.FaultPlan`) to run the command against a disk that
+fails on a deterministic seeded schedule; ``--fault-transcript`` dumps
+the fired faults for replay or as a CI artifact.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -25,7 +33,15 @@ import numpy as np
 
 from .core.config import EngineConfig
 from .core.engine import HybridQuantileEngine
-from .persistence import PersistenceError, load_engine, save_engine
+from .faults import DiskFault, FaultPlan, FaultyDisk, RetryPolicy
+from .ingest.archiver import ArchiveFailedError
+from .persistence import (
+    PersistenceError,
+    load_engine,
+    recover_checkpoint,
+    save_engine,
+)
+from .storage.disk import SimulatedDisk
 from .workloads import NormalWorkload
 
 
@@ -66,8 +82,51 @@ def _cmd_init(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fault_plan_of(args: argparse.Namespace) -> Optional[FaultPlan]:
+    spec = getattr(args, "fault_plan", None)
+    return FaultPlan.from_spec(spec) if spec is not None else None
+
+
+def _load_engine_cli(args: argparse.Namespace) -> HybridQuantileEngine:
+    """Load the warehouse engine, on a fault-injecting disk if asked."""
+    plan = _fault_plan_of(args)
+    if plan is None:
+        return load_engine(args.warehouse)
+    # The disk must match the persisted block size, which lives in the
+    # (recovered) checkpoint's engine state.
+    directory = recover_checkpoint(args.warehouse)
+    config = json.loads(
+        (directory / "engine.json").read_text(encoding="utf-8")
+    )["config"]
+    disk = FaultyDisk(plan, block_elems=int(config["block_elems"]))
+    # The recovery scan itself runs on the faulty disk; retry transient
+    # faults with the warehouse's own policy (a fresh load each attempt
+    # draws fresh fault decisions).
+    policy = RetryPolicy(
+        max_retries=int(config.get("archive_retries", 32)),
+        backoff_seconds=float(config.get("retry_backoff_seconds", 0.002)),
+        backoff_cap_seconds=float(
+            config.get("retry_backoff_cap_seconds", 0.25)
+        ),
+    )
+    try:
+        return policy.call(lambda: load_engine(args.warehouse, disk=disk))
+    except DiskFault:
+        # The transcript matters most when the load itself gave up.
+        _dump_transcript(args, disk)
+        raise
+
+
+def _dump_transcript(args: argparse.Namespace, disk: SimulatedDisk) -> None:
+    path = getattr(args, "fault_transcript", None)
+    if path is not None and isinstance(disk, FaultyDisk):
+        disk.dump_transcript(path)
+        print(f"fault transcript -> {path} "
+              f"({disk.faults_fired} faults over {disk.operations} ops)")
+
+
 def _cmd_ingest(args: argparse.Namespace) -> int:
-    engine = load_engine(args.warehouse)
+    engine = _load_engine_cli(args)
     values = _read_values(args.source)
     engine.stream_update_batch(values)
     message = f"streamed {len(values):,} elements"
@@ -86,12 +145,17 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
             + ")"
         )
     save_engine(engine, args.warehouse)
+    stats = engine.ingest_stats
+    if stats is not None and (stats.fault_retries or stats.disk_faults):
+        message += (f" [{stats.disk_faults} disk faults, "
+                    f"{stats.fault_retries} retries]")
     print(message)
+    _dump_transcript(args, engine.disk)
     return 0
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    engine = load_engine(args.warehouse)
+    engine = _load_engine_cli(args)
     if engine.n_total == 0:
         print("error: warehouse is empty", file=sys.stderr)
         return 1
@@ -105,7 +169,26 @@ def _cmd_query(args: argparse.Namespace) -> int:
             phi, mode=args.mode, window_steps=args.window
         )
         print(f"{phi:>6} {result.value:>16,} {result.target_rank:>12,} "
-              f"{result.disk_accesses:>9}")
+              f"{result.disk_accesses:>9}"
+              + ("  DEGRADED" if result.degraded else ""))
+    report = engine.reliability
+    if not report.healthy:
+        print(f"reliability: {report.disk_faults} disk faults, "
+              f"{report.total_retries} retries, "
+              f"{report.degraded_queries} degraded queries")
+    _dump_transcript(args, engine.disk)
+    return 0
+
+
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    engine = load_engine(args.warehouse, repair=args.repair)
+    layout = [len(p) for p in engine.store.partitions()]
+    print(f"checkpoint OK: {len(layout)} partitions, "
+          f"{engine.n_historical:,} historical elements over "
+          f"{engine.steps_loaded} steps, "
+          f"{engine.m_stream:,} buffered stream elements"
+          + (" (repair mode)" if args.repair else ""))
+    engine.close()
     return 0
 
 
@@ -134,10 +217,16 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         epsilon=args.epsilon, kappa=args.kappa, block_elems=100,
         query_workers=args.query_workers, ingest_mode=args.ingest_mode,
     )
-    engine = HybridQuantileEngine(config=config)
+    plan = _fault_plan_of(args)
+    disk: Optional[SimulatedDisk] = None
+    if plan is not None:
+        disk = FaultyDisk(plan, block_elems=config.block_elems)
+    engine = HybridQuantileEngine(config=config, disk=disk)
     workload = NormalWorkload(seed=7)
     print(f"demo: {args.steps} steps x {args.batch:,} elements (Normal, "
-          f"{args.ingest_mode} ingest)")
+          f"{args.ingest_mode} ingest"
+          + (", fault injection on" if plan is not None else "")
+          + ")")
     for _ in range(args.steps):
         engine.stream_update_batch(workload.generate(args.batch))
         engine.end_time_step()
@@ -146,7 +235,9 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     for phi in (0.25, 0.5, 0.75, 0.95, 0.99):
         result = engine.quantile(phi)
         print(f"  phi={phi:<5} -> {result.value:>12,} "
-              f"({result.disk_accesses} disk accesses)")
+              f"({result.disk_accesses} disk accesses"
+              + (", degraded" if result.degraded else "")
+              + ")")
     memory = engine.memory_report()
     print(f"memory: {memory.total_words:,} words over "
           f"{engine.n_total:,} elements")
@@ -155,6 +246,13 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         print(f"ingest: stalled {stats.stall_seconds * 1e3:.1f} ms over "
               f"{stats.batches_archived} steps "
               f"(max queue depth {stats.max_queue_depth})")
+    report = engine.reliability
+    if not report.healthy:
+        print(f"reliability: {report.disk_faults} disk faults, "
+              f"{report.archive_retries} archive retries, "
+              f"{report.probe_retries} probe retries, "
+              f"{report.degraded_queries} degraded queries")
+    _dump_transcript(args, engine.disk)
     engine.close()
     return 0
 
@@ -185,6 +283,17 @@ def build_parser() -> argparse.ArgumentParser:
     init.add_argument("--force", action="store_true")
     init.set_defaults(handler=_cmd_init)
 
+    def add_fault_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--fault-plan", metavar="SPEC", default=None,
+            help="inject disk faults: inline JSON or a JSON file "
+                 '(e.g. \'{"seed": 7, "read_error_rate": 0.05}\')',
+        )
+        sub.add_argument(
+            "--fault-transcript", metavar="PATH", default=None,
+            help="write the fired faults (plan + events) as JSON",
+        )
+
     ingest = commands.add_parser("ingest", help="stream a batch of values")
     ingest.add_argument("warehouse")
     ingest.add_argument("source", help=".npy / text file / '-' for stdin")
@@ -192,6 +301,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--archive", action="store_true",
         help="end the time step after streaming",
     )
+    add_fault_options(ingest)
     ingest.set_defaults(handler=_cmd_ingest)
 
     query = commands.add_parser("query", help="ask for quantiles")
@@ -205,11 +315,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--query-workers", type=int, default=None,
         help="override the warehouse's probe parallelism for this query",
     )
+    add_fault_options(query)
     query.set_defaults(handler=_cmd_query)
 
     status = commands.add_parser("status", help="show warehouse state")
     status.add_argument("warehouse")
     status.set_defaults(handler=_cmd_status)
+
+    fsck = commands.add_parser(
+        "fsck", help="verify (and optionally repair) a checkpoint",
+    )
+    fsck.add_argument("warehouse")
+    fsck.add_argument(
+        "--repair", action="store_true",
+        help="salvage checksum-mismatched partitions that are still "
+             "structurally valid sorted runs, rewriting the manifest",
+    )
+    fsck.set_defaults(handler=_cmd_fsck)
 
     demo = commands.add_parser("demo", help="self-contained demonstration")
     demo.add_argument("--steps", type=int, default=10)
@@ -224,6 +346,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--ingest-mode", choices=("sync", "background"), default="sync",
         help="archive batches synchronously (default) or in the background",
     )
+    add_fault_options(demo)
     demo.set_defaults(handler=_cmd_demo)
 
     return parser
@@ -234,7 +357,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.handler(args)
-    except (PersistenceError, FileNotFoundError, ValueError) as exc:
+    except (
+        PersistenceError,
+        FileNotFoundError,
+        ValueError,
+        DiskFault,
+        ArchiveFailedError,
+    ) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

@@ -3,7 +3,13 @@
 from .bounds import CombinedSummary
 from .config import EngineConfig
 from .engine import HybridQuantileEngine, MemoryReport, QueryResult, StepReport
-from .monitoring import MonitorRule, QuantileAlert, QuantileWatcher
+from .monitoring import (
+    HealthRule,
+    MonitorRule,
+    QuantileAlert,
+    QuantileWatcher,
+    ReliabilityAlert,
+)
 from .snapshot import EngineSnapshot, snapshot
 from .memory import (
     WORDS_PER_MB,
@@ -23,9 +29,11 @@ __all__ = [
     "MemoryReport",
     "QueryResult",
     "StepReport",
+    "HealthRule",
     "MonitorRule",
     "QuantileAlert",
     "QuantileWatcher",
+    "ReliabilityAlert",
     "EngineSnapshot",
     "snapshot",
     "WORDS_PER_MB",

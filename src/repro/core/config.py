@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Optional  # noqa: F401 (Any used in annotations)
 
 
 @dataclass(frozen=True)
@@ -78,6 +78,24 @@ class EngineConfig:
         Backpressure bound of the background archiver: at most this
         many sealed batches may be pending (staged but not merged)
         before ``end_time_step`` blocks, accumulating stall seconds.
+    archive_retries:
+        Consecutive transient-fault retries the background archiver
+        spends on one batch before declaring it failed (the batch stays
+        queued and queryable either way; the failure surfaces as a
+        typed error on the next producer call or ``close``).
+    probe_retries:
+        Transient-fault retries the query executor spends on one
+        partition probe before the accurate search gives up and — with
+        ``degrade_on_fault`` — the query falls back to the quick
+        response.
+    retry_backoff_seconds, retry_backoff_cap_seconds:
+        Capped exponential backoff between retries: retry ``k`` sleeps
+        ``min(base * 2**(k-1), cap)``.
+    degrade_on_fault:
+        When an accurate query exhausts its probe retries, answer from
+        the in-memory summaries instead (quick response, widened error
+        bound, ``QueryResult.degraded = True``) rather than raising the
+        fault to the caller.
     """
 
     epsilon: float
@@ -94,6 +112,11 @@ class EngineConfig:
     query_workers: int = 1
     ingest_mode: str = "sync"
     ingest_queue_batches: int = 4
+    archive_retries: int = 32
+    probe_retries: int = 3
+    retry_backoff_seconds: float = 0.002
+    retry_backoff_cap_seconds: float = 0.25
+    degrade_on_fault: bool = True
 
     def __post_init__(self) -> None:
         if not 0 < self.epsilon < 1:
@@ -119,6 +142,14 @@ class EngineConfig:
             raise ValueError("ingest_mode must be 'sync' or 'background'")
         if self.ingest_queue_batches < 1:
             raise ValueError("ingest_queue_batches must be >= 1")
+        if self.archive_retries < 0:
+            raise ValueError("archive_retries must be >= 0")
+        if self.probe_retries < 0:
+            raise ValueError("probe_retries must be >= 0")
+        if self.retry_backoff_seconds < 0:
+            raise ValueError("retry_backoff_seconds must be >= 0")
+        if self.retry_backoff_cap_seconds < 0:
+            raise ValueError("retry_backoff_cap_seconds must be >= 0")
 
     @property
     def epsilon1(self) -> float:
@@ -152,6 +183,28 @@ class EngineConfig:
         if self.eps2 is not None:
             return 4.0 * self.eps2
         return self.epsilon
+
+    @property
+    def archive_retry_policy(self) -> "Any":
+        """Retry policy the background archiver runs batches under."""
+        from ..faults.retry import RetryPolicy
+
+        return RetryPolicy(
+            max_retries=self.archive_retries,
+            backoff_seconds=self.retry_backoff_seconds,
+            backoff_cap_seconds=self.retry_backoff_cap_seconds,
+        )
+
+    @property
+    def probe_retry_policy(self) -> "Any":
+        """Retry policy the query executor runs partition probes under."""
+        from ..faults.retry import RetryPolicy
+
+        return RetryPolicy(
+            max_retries=self.probe_retries,
+            backoff_seconds=self.retry_backoff_seconds,
+            backoff_cap_seconds=self.retry_backoff_cap_seconds,
+        )
 
     @property
     def residual_threshold(self) -> int:

@@ -37,13 +37,17 @@ the benchmark harness reads the same metrics the paper plots.
 
 from __future__ import annotations
 
+import logging
 import math
+import threading
 import time
 from dataclasses import dataclass, field, replace
 from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from ..faults.errors import DiskFault
+from ..faults.health import ReliabilityReport
 from ..ingest import AppendBuffer, BackgroundArchiver, IngestStats, PendingBatch
 from ..ingest.archiver import ArchiveRecord
 from ..query.executor import QueryExecutor
@@ -60,6 +64,8 @@ from .filters import AccurateSearch
 from .summaries import PartitionSummary, StreamSummary
 from .aggregates import AggregateStats, combine, partition_stats
 from .windows import resolve_range_in, resolve_window_in
+
+_logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -122,6 +128,14 @@ class QueryResult:
     #: worker threads the accurate search probed partitions with
     #: (1 = serial); ``wall_seconds`` is measured under this setting.
     query_workers: int = 1
+    #: True when an accurate query exhausted its probe retries against
+    #: a faulty disk and fell back to the quick (in-memory) response;
+    #: ``rank_error_bound`` then carries the widened quick-path bound.
+    degraded: bool = False
+    #: a priori bound on ``|true_rank(value) - target_rank|`` for this
+    #: response: ``~eps * m`` for an accurate answer, the much wider
+    #: ``eps1 * n + eps2 * m`` for quick and degraded answers.
+    rank_error_bound: float = 0.0
 
     @property
     def phi(self) -> float:
@@ -206,7 +220,11 @@ class HybridQuantileEngine:
         self._m = 0
         self._step = 0
         self._stream_stats = AggregateStats.empty()
-        self._query_executor = QueryExecutor(workers=config.query_workers)
+        self._query_executor = QueryExecutor(
+            workers=config.query_workers, retry=config.probe_retry_policy
+        )
+        self._degraded_queries = 0
+        self._reliability_lock = threading.Lock()
         # Created lazily on the first background end_time_step, so it
         # always binds the *final* store (load_engine swaps the store
         # attribute after construction).
@@ -348,8 +366,11 @@ class HybridQuantileEngine:
     def _ensure_archiver(self) -> BackgroundArchiver:
         if self._archiver is None:
             self._archiver = BackgroundArchiver(
-                self.store, max_pending=self.config.ingest_queue_batches
+                self.store,
+                max_pending=self.config.ingest_queue_batches,
+                retry=self.config.archive_retry_policy,
             )
+            self._archiver.stats.degraded_queries = self._degraded_queries
         return self._archiver
 
     def _report_from_record(self, record: ArchiveRecord) -> StepReport:
@@ -380,6 +401,37 @@ class HybridQuantileEngine:
         ``None`` in sync mode).
         """
         return self._archiver.stats if self._archiver is not None else None
+
+    @property
+    def degraded_queries(self) -> int:
+        """Accurate queries that fell back to the quick response."""
+        with self._reliability_lock:
+            return self._degraded_queries
+
+    def _note_degraded_query(self) -> None:
+        """Count one degraded query (called from any query thread)."""
+        with self._reliability_lock:
+            self._degraded_queries += 1
+            count = self._degraded_queries
+        archiver = self._archiver
+        if archiver is not None:
+            archiver.stats.degraded_queries = count
+
+    @property
+    def reliability(self) -> ReliabilityReport:
+        """Cumulative failure-handling counters across subsystems.
+
+        Zeros everywhere (``report.healthy``) on a fault-free disk; a
+        :class:`~repro.faults.FaultyDisk` contributes its fired-fault
+        count, the archiver and query executor their retry counts.
+        """
+        stats = self.ingest_stats
+        return ReliabilityReport(
+            disk_faults=int(getattr(self.disk, "faults_fired", 0)),
+            archive_retries=stats.fault_retries if stats is not None else 0,
+            probe_retries=self._query_executor.fault_retries,
+            degraded_queries=self.degraded_queries,
+        )
 
     # ------------------------------------------------------------------
     # Queries (Algorithms 5-8)
@@ -454,7 +506,15 @@ class HybridQuantileEngine:
             ordered = self.store.partitions()
             pending = self._archiver.pending_batches()
         for batch in pending:
-            ordered.append(batch.ensure_staged(self.store))
+            # Staging writes to disk, so it runs under the probe retry
+            # policy; an exhausted retry propagates as a typed fault —
+            # a query must never silently drop a sealed batch from the
+            # union it answers over.
+            ordered.append(
+                self._query_executor.call_with_retry(
+                    lambda batch=batch: batch.ensure_staged(self.store)
+                )
+            )
         return ordered
 
     def _query_scope(
@@ -505,39 +565,75 @@ class HybridQuantileEngine:
         started = time.perf_counter()
         io_before = self.disk.stats.counters.snapshot()
         self.disk.stats.set_phase("query")
-        partitions, ss, combined = self._query_scope(window_steps, step_range)
-        total = combined.total_size
-        rank = max(1, min(int(rank), total))
-        if mode == "quick":
-            value = combined.quick_response(rank)
-            outcome_rank = float(rank)
-            blocks = 0
-            iterations = 0
-            truncated = False
-            critical_path_blocks = 0
-        else:
-            search = AccurateSearch(
-                partitions=partitions,
-                stream_summary=ss,
-                combined=combined,
-                config=self.config,
-                rank=rank,
-                # Historical-range queries exclude the live stream, so
-                # the sketch-backed estimator must not contribute.
-                stream_rank_fn=(
-                    self._stream_rank_estimate if step_range is None else None
-                ),
-                executor=self._query_executor,
+        try:
+            partitions, ss, combined = self._query_scope(
+                window_steps, step_range
             )
-            outcome = search.run()
-            value = outcome.value
-            outcome_rank = outcome.estimated_rank
-            blocks = outcome.random_blocks
-            iterations = outcome.iterations
-            truncated = outcome.truncated
-            critical_path_blocks = outcome.max_partition_blocks
-        self.disk.stats.set_phase("load")
+            total = combined.total_size
+            rank = max(1, min(int(rank), total))
+            quick_bound = self._quick_rank_bound(total, ss.stream_size)
+            degraded = False
+            if mode == "quick":
+                value = combined.quick_response(rank)
+                outcome_rank = float(rank)
+                blocks = 0
+                iterations = 0
+                truncated = False
+                critical_path_blocks = 0
+                bound = quick_bound
+            else:
+                search = AccurateSearch(
+                    partitions=partitions,
+                    stream_summary=ss,
+                    combined=combined,
+                    config=self.config,
+                    rank=rank,
+                    # Historical-range queries exclude the live stream,
+                    # so the sketch-backed estimator must not
+                    # contribute.
+                    stream_rank_fn=(
+                        self._stream_rank_estimate
+                        if step_range is None
+                        else None
+                    ),
+                    executor=self._query_executor,
+                )
+                try:
+                    outcome = search.run()
+                except DiskFault:
+                    # A probe exhausted its retries.  Degrade to the
+                    # quick (in-memory) response with its widened error
+                    # bound rather than crashing the query; the
+                    # degradation is visible on the result and in
+                    # engine.reliability.
+                    if not self.config.degrade_on_fault:
+                        raise
+                    outcome = None
+                if outcome is None:
+                    self._note_degraded_query()
+                    degraded = True
+                    value = combined.quick_response(rank)
+                    outcome_rank = float(rank)
+                    blocks = 0
+                    iterations = 0
+                    truncated = True
+                    critical_path_blocks = 0
+                    bound = quick_bound
+                else:
+                    value = outcome.value
+                    outcome_rank = outcome.estimated_rank
+                    blocks = outcome.random_blocks
+                    iterations = outcome.iterations
+                    truncated = outcome.truncated
+                    critical_path_blocks = outcome.max_partition_blocks
+                    bound = self.config.query_epsilon * ss.stream_size
+        finally:
+            self.disk.stats.set_phase("load")
         io_delta = self.disk.stats.counters.delta_since(io_before)
+        if degraded:
+            # The aborted search's probes were still charged; surface
+            # them so degraded queries are not mistaken for free ones.
+            blocks = io_delta.random_reads
         return QueryResult(
             value=int(value),
             target_rank=rank,
@@ -555,6 +651,17 @@ class HybridQuantileEngine:
                 * self.disk.latency.seconds_per_random_block
             ),
             query_workers=self.config.query_workers,
+            degraded=degraded,
+            rank_error_bound=float(bound),
+        )
+
+    def _quick_rank_bound(self, total: int, m_scope: int) -> float:
+        """A priori rank-error bound of the quick response over a scope
+        of ``total`` elements, ``m_scope`` of them live stream."""
+        hist_scope = max(0, total - m_scope)
+        return (
+            self.config.epsilon1 * hist_scope
+            + self.config.epsilon2 * m_scope
         )
 
     def quantile(
@@ -597,6 +704,7 @@ class HybridQuantileEngine:
         self.disk.stats.set_phase("query")
         partitions, ss, combined = self._query_scope(window_steps)
         total = combined.total_size
+        quick_bound = self._quick_rank_bound(total, ss.stream_size)
         cache = BlockCache(self.disk, enabled=self.config.block_cache)
         results = []
         for phi in phis:
@@ -612,7 +720,34 @@ class HybridQuantileEngine:
                 cache=cache,
                 executor=self._query_executor,
             )
-            outcome = search.run()
+            try:
+                outcome = search.run()
+            except DiskFault:
+                if not self.config.degrade_on_fault:
+                    self.disk.stats.set_phase("load")
+                    raise
+                outcome = None
+                self._note_degraded_query()
+            if outcome is None:
+                results.append(
+                    QueryResult(
+                        value=int(combined.quick_response(rank)),
+                        target_rank=rank,
+                        total_size=total,
+                        mode="accurate",
+                        estimated_rank=float(rank),
+                        disk_accesses=0,
+                        iterations=0,
+                        truncated=True,
+                        wall_seconds=time.perf_counter() - started,
+                        sim_seconds=0.0,
+                        window_steps=window_steps,
+                        query_workers=self.config.query_workers,
+                        degraded=True,
+                        rank_error_bound=float(quick_bound),
+                    )
+                )
+                continue
             results.append(
                 QueryResult(
                     value=outcome.value,
@@ -628,6 +763,9 @@ class HybridQuantileEngine:
                     sim_seconds=0.0,
                     window_steps=window_steps,
                     query_workers=self.config.query_workers,
+                    rank_error_bound=float(
+                        self.config.query_epsilon * ss.stream_size
+                    ),
                 )
             )
         self.disk.stats.set_phase("load")
@@ -722,7 +860,11 @@ class HybridQuantileEngine:
             return
         old = self._query_executor
         self.config = replace(self.config, query_workers=workers)
-        self._query_executor = QueryExecutor(workers=workers)
+        retries = old.fault_retries
+        self._query_executor = QueryExecutor(
+            workers=workers, retry=self.config.probe_retry_policy
+        )
+        self._query_executor.fault_retries = retries
         old.close()
 
     def close(self) -> None:
@@ -734,16 +876,34 @@ class HybridQuantileEngine:
         is only required for background-mode or ``query_workers > 1``
         deployments that create many engines; the interpreter also
         joins remaining threads at exit.
+
+        If the archiver failed on an error nothing surfaced yet, the
+        error is raised here (as :class:`~repro.ingest.archiver.
+        ArchiveFailedError`) — *after* the query pool is released, so
+        the engine is fully shut down either way.
         """
-        if self._archiver is not None:
-            self._archiver.close()
-        self._query_executor.close()
+        try:
+            if self._archiver is not None:
+                self._archiver.close()
+        finally:
+            self._query_executor.close()
 
     def __enter__(self) -> "HybridQuantileEngine":
         return self
 
-    def __exit__(self, *exc_info: object) -> None:
-        self.close()
+    def __exit__(self, exc_type, exc, tb) -> None:
+        try:
+            self.close()
+        except Exception:
+            if exc_type is None:
+                raise
+            # The body is already unwinding with its own exception;
+            # losing that for the archiver's would mask the root cause.
+            # Resources are released either way (close's finally).
+            _logger.warning(
+                "suppressed background archiving failure while the "
+                "engine exited with %s", exc_type.__name__, exc_info=True,
+            )
 
     # ------------------------------------------------------------------
     # Accounting and invariants

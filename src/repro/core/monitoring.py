@@ -11,13 +11,21 @@ alerts always describes a single instant of the data.
 Quick-mode evaluation costs no disk access at all, making per-arrival
 or per-step evaluation essentially free; accurate mode spends a few
 block reads for tight values.
+
+Besides value thresholds, a watcher can hold *health* rules
+(:meth:`QuantileWatcher.watch_health`) over the engine's reliability
+counters — disk faults, fault retries, degraded queries — so an
+operator learns when the fault-tolerance machinery is absorbing
+trouble (retries climbing) or giving ground (accurate queries
+degrading to quick answers).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
+from ..faults.health import ReliabilityReport
 from .engine import HybridQuantileEngine
 from .snapshot import EngineSnapshot
 
@@ -49,19 +57,85 @@ class MonitorRule:
 
 @dataclass(frozen=True)
 class QuantileAlert:
-    """One firing of a monitor rule."""
+    """One firing of a monitor rule.
+
+    ``degraded`` marks an observation answered by the quick-response
+    fallback after probe retries were exhausted — the alert is genuine
+    but its value carries the wider quick error bound.
+    """
 
     rule: MonitorRule
     observed: int
     total_size: int
     at_step: int
+    degraded: bool = False
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"[{self.rule.name}] phi={self.rule.phi} observed "
             f"{self.observed} {self.rule.direction} threshold "
             f"{self.rule.threshold} (N={self.total_size}, "
-            f"step {self.at_step})"
+            f"step {self.at_step}"
+            + (", degraded" if self.degraded else "")
+            + ")"
+        )
+
+
+@dataclass(frozen=True)
+class HealthRule:
+    """Standing thresholds on the engine's reliability counters.
+
+    Each ``max_*`` bound is inclusive: the rule fires once the
+    corresponding lifetime counter *exceeds* it.  At least one bound
+    must be set.
+    """
+
+    name: str
+    max_disk_faults: Optional[int] = None
+    max_retries: Optional[int] = None
+    max_degraded_queries: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        bounds = (
+            self.max_disk_faults,
+            self.max_retries,
+            self.max_degraded_queries,
+        )
+        if all(bound is None for bound in bounds):
+            raise ValueError("set at least one max_* bound")
+        for bound in bounds:
+            if bound is not None and bound < 0:
+                raise ValueError("bounds must be >= 0")
+
+    def breaches(self, report: ReliabilityReport) -> "Tuple[str, ...]":
+        """Names of the counters exceeding their bound, if any."""
+        breached = []
+        if (self.max_disk_faults is not None
+                and report.disk_faults > self.max_disk_faults):
+            breached.append("disk_faults")
+        if (self.max_retries is not None
+                and report.total_retries > self.max_retries):
+            breached.append("retries")
+        if (self.max_degraded_queries is not None
+                and report.degraded_queries > self.max_degraded_queries):
+            breached.append("degraded_queries")
+        return tuple(breached)
+
+
+@dataclass(frozen=True)
+class ReliabilityAlert:
+    """One firing of a health rule."""
+
+    rule: HealthRule
+    report: ReliabilityReport
+    at_step: int
+    breaches: "Tuple[str, ...]"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"[{self.rule.name}] reliability breach "
+            f"({', '.join(self.breaches)}): {self.report} "
+            f"(step {self.at_step})"
         )
 
 
@@ -71,6 +145,7 @@ class QuantileWatcher:
     def __init__(self, engine: HybridQuantileEngine) -> None:
         self._engine = engine
         self._rules: Dict[str, MonitorRule] = {}
+        self._health_rules: Dict[str, HealthRule] = {}
 
     def add(
         self,
@@ -96,15 +171,63 @@ class QuantileWatcher:
         return rule
 
     def remove(self, name: str) -> None:
-        """Unregister a rule by name."""
-        if name not in self._rules:
+        """Unregister a rule (quantile or health) by name."""
+        if name in self._rules:
+            del self._rules[name]
+        elif name in self._health_rules:
+            del self._health_rules[name]
+        else:
             raise KeyError(name)
-        del self._rules[name]
 
     @property
     def rules(self) -> List[MonitorRule]:
-        """The currently registered rules."""
+        """The currently registered quantile rules."""
         return list(self._rules.values())
+
+    @property
+    def health_rules(self) -> List[HealthRule]:
+        """The currently registered health rules."""
+        return list(self._health_rules.values())
+
+    def watch_health(
+        self,
+        name: str,
+        max_disk_faults: Optional[int] = None,
+        max_retries: Optional[int] = None,
+        max_degraded_queries: Optional[int] = None,
+    ) -> HealthRule:
+        """Register a standing rule over the reliability counters."""
+        if name in self._rules or name in self._health_rules:
+            raise ValueError(f"duplicate monitor name {name!r}")
+        rule = HealthRule(
+            name=name,
+            max_disk_faults=max_disk_faults,
+            max_retries=max_retries,
+            max_degraded_queries=max_degraded_queries,
+        )
+        self._health_rules[name] = rule
+        return rule
+
+    def check_health(self) -> List[ReliabilityAlert]:
+        """Evaluate every health rule against the engine's lifetime
+        reliability counters (one consistent report for all rules)."""
+        if not self._health_rules:
+            return []
+        report = self._engine.reliability
+        step = self._engine.steps_sealed
+        alerts = []
+        for rule in self._health_rules.values():
+            breached = rule.breaches(report)
+            if breached:
+                alerts.append(
+                    ReliabilityAlert(
+                        rule=rule,
+                        report=report,
+                        at_step=step,
+                        breaches=breached,
+                    )
+                )
+        return alerts
 
     def evaluate(self) -> List[QuantileAlert]:
         """Check every rule against one consistent snapshot."""
@@ -121,6 +244,7 @@ class QuantileWatcher:
                         observed=result.value,
                         total_size=result.total_size,
                         at_step=view.created_at_step,
+                        degraded=result.degraded,
                     )
                 )
         return alerts

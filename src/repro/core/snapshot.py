@@ -18,6 +18,7 @@ from __future__ import annotations
 import time
 from typing import List, Sequence
 
+from ..faults.errors import DiskFault
 from ..sketches.base import rank_for_phi
 from ..sketches.gk import GKSketch
 from ..warehouse.partition import Partition
@@ -55,6 +56,12 @@ class EngineSnapshot:
         )
         self.n_historical = sum(len(p) for p in self._partitions)
         self.m_stream = self._gk.n
+        # Share the engine's executor (probe parallelism + fault
+        # retries) and report degradations back to its counters; a
+        # closed executor transparently runs inline, so a snapshot
+        # outliving its engine still answers.
+        self._executor = engine.query_executor
+        self._note_degraded = engine._note_degraded_query
         # The snapshot covers everything sealed (including batches the
         # background archiver has not merged yet), so the step stamp is
         # the sealed step, not the archived one.
@@ -81,12 +88,19 @@ class EngineSnapshot:
         summaries = [p.summary for p in self._partitions if len(p) > 0]
         combined = CombinedSummary.build(summaries, self._ss)
         rank = max(1, min(int(rank), combined.total_size))
+        hist_scope = max(0, combined.total_size - self._ss.stream_size)
+        quick_bound = (
+            self.config.epsilon1 * hist_scope
+            + self.config.epsilon2 * self._ss.stream_size
+        )
+        degraded = False
         if mode == "quick":
             value = combined.quick_response(rank)
             blocks = 0
             estimated = float(rank)
             iterations = 0
             truncated = False
+            bound = quick_bound
         else:
             search = AccurateSearch(
                 partitions=self._partitions,
@@ -95,13 +109,32 @@ class EngineSnapshot:
                 config=self.config,
                 rank=rank,
                 stream_rank_fn=self._stream_rank,
+                executor=self._executor,
             )
-            outcome = search.run()
-            value = outcome.value
-            blocks = outcome.random_blocks
-            estimated = outcome.estimated_rank
-            iterations = outcome.iterations
-            truncated = outcome.truncated
+            try:
+                outcome = search.run()
+            except DiskFault:
+                # Same degradation semantics as the live engine: fall
+                # back to the quick response, flag the result.
+                if not self.config.degrade_on_fault:
+                    raise
+                outcome = None
+                self._note_degraded()
+            if outcome is None:
+                degraded = True
+                value = combined.quick_response(rank)
+                blocks = 0
+                estimated = float(rank)
+                iterations = 0
+                truncated = True
+                bound = quick_bound
+            else:
+                value = outcome.value
+                blocks = outcome.random_blocks
+                estimated = outcome.estimated_rank
+                iterations = outcome.iterations
+                truncated = outcome.truncated
+                bound = self.config.query_epsilon * self._ss.stream_size
         return QueryResult(
             value=int(value),
             target_rank=rank,
@@ -113,6 +146,9 @@ class EngineSnapshot:
             truncated=truncated,
             wall_seconds=time.perf_counter() - started,
             sim_seconds=blocks * self._disk.latency.seconds_per_random_block,
+            query_workers=self._executor.workers,
+            degraded=degraded,
+            rank_error_bound=float(bound),
         )
 
     def quantile(self, phi: float, mode: str = "accurate") -> QueryResult:

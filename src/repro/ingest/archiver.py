@@ -20,6 +20,17 @@ Backpressure.  At most ``max_pending`` batches may be queued; beyond
 that ``submit`` blocks, and the blocked time is the *stall* the
 instrumentation reports (the synchronous path, by comparison, stalls
 for every step's full archive latency).
+
+Failure isolation.  An archive attempt that hits a transient
+:class:`~repro.faults.DiskFault` is retried in place with capped
+exponential backoff (the batch never leaves the queue until adoption
+succeeds, so a failed attempt re-queues it by construction — adoption
+must stay in step order for the layout invariant).  Only a persistent
+fault, an unexpected exception, or an exhausted retry budget poisons
+the archiver, and even then the error is *delivered*: the next
+``submit``/``drain`` raises a typed :class:`ArchiveFailedError`, and
+``close`` raises it if no producer call ever surfaced it — a failed
+background thread can no longer vanish silently.
 """
 
 from __future__ import annotations
@@ -29,9 +40,17 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..faults.errors import DiskFault
+from ..faults.retry import RetryPolicy
 from ..storage.stats import PhaseTally
 from ..warehouse.leveled_store import LeveledStore
 from .pending import PendingBatch
+
+
+class ArchiveFailedError(RuntimeError):
+    """Background archiving failed; the cause is chained as
+    ``__cause__``.  Raised by ``submit``/``drain``/``close`` after the
+    archiver thread records a fatal error."""
 
 
 @dataclass
@@ -52,6 +71,14 @@ class IngestStats:
     archive_phase_seconds:
         Archive latency split by phase (``sort`` / ``load`` /
         ``summary`` / ``merge``), summed across steps.
+    fault_retries:
+        Archive attempts retried after a transient disk fault.
+    disk_faults:
+        Disk faults the archiver thread has hit (retried or fatal).
+    degraded_queries:
+        Accurate queries on the owning engine that fell back to the
+        quick response after exhausting probe retries (mirrored here so
+        background deployments can watch one stats object).
     """
 
     batches_enqueued: int = 0
@@ -60,6 +87,9 @@ class IngestStats:
     stall_seconds: float = 0.0
     archive_wall_seconds: float = 0.0
     archive_phase_seconds: Dict[str, float] = field(default_factory=dict)
+    fault_retries: int = 0
+    disk_faults: int = 0
+    degraded_queries: int = 0
 
     def note_phases(self, cpu: Dict[str, float]) -> None:
         """Accumulate one step's per-phase archive latency."""
@@ -98,13 +128,24 @@ class BackgroundArchiver:
     max_pending:
         Backpressure bound: ``submit`` blocks while this many batches
         are pending.
+    retry:
+        Transient-fault retry policy for archive attempts; defaults to
+        no retries (any fault is fatal), which is the pre-fault-model
+        behaviour.  Engines pass
+        :attr:`~repro.core.config.EngineConfig.archive_retry_policy`.
     """
 
-    def __init__(self, store: LeveledStore, max_pending: int = 4) -> None:
+    def __init__(
+        self,
+        store: LeveledStore,
+        max_pending: int = 4,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
         if max_pending < 1:
             raise ValueError("max_pending must be >= 1")
         self._store = store
         self._max_pending = max_pending
+        self._retry = retry if retry is not None else RetryPolicy()
         self._cond = threading.Condition(store.layout_lock)
         self._pending: List[PendingBatch] = []
         self._records: List[ArchiveRecord] = []
@@ -112,6 +153,7 @@ class BackgroundArchiver:
         self._paused = False
         self._shutdown = False
         self._error: Optional[BaseException] = None
+        self._error_delivered = False
         self.stats = IngestStats()
         self._thread = threading.Thread(
             target=self._run, name="repro-ingest", daemon=True
@@ -191,23 +233,47 @@ class BackgroundArchiver:
             self._cond.notify_all()
 
     def close(self) -> None:
-        """Drain remaining work and stop the thread (idempotent)."""
+        """Drain remaining work and stop the thread (idempotent).
+
+        If the archiver thread died on an error that no ``submit`` or
+        ``drain`` ever surfaced, ``close`` raises it (as
+        :class:`ArchiveFailedError`) rather than silently joining — the
+        caller must learn the warehouse is missing batches.
+        """
         with self._cond:
             self._paused = False
             self._shutdown = True
             self._cond.notify_all()
         if self._thread.is_alive():
             self._thread.join()
+        with self._cond:
+            if self._error is not None and not self._error_delivered:
+                self._raise_if_failed()
+
+    @property
+    def failed(self) -> bool:
+        """Whether the archiver thread has recorded a fatal error."""
+        with self._cond:
+            return self._error is not None
 
     def _raise_if_failed(self) -> None:
         if self._error is not None:
-            raise RuntimeError(
+            self._error_delivered = True
+            raise ArchiveFailedError(
                 "background archiving failed"
             ) from self._error
 
     # ------------------------------------------------------------------
     # Consumer side (the archiver thread)
     # ------------------------------------------------------------------
+
+    def _note_retry(self, fault: DiskFault, attempt: int) -> None:
+        """Count one retried archive attempt (runs on the archiver
+        thread, between attempts)."""
+        with self._cond:
+            self.stats.fault_retries += 1
+            self.stats.disk_faults += 1
+            self._cond.notify_all()
 
     def _run(self) -> None:
         while True:
@@ -222,9 +288,20 @@ class BackgroundArchiver:
                 batch = self._pending[0]
                 self._busy = True
             try:
-                record = self._archive_one(batch)
+                # Transient faults are retried with capped backoff; the
+                # batch stays self._pending[0] (still queryable) across
+                # attempts, so a failed attempt is a re-queue, not a
+                # loss.  Persistent faults, unexpected exceptions and
+                # an exhausted retry budget fall through to the fatal
+                # path below.
+                record = self._retry.call(
+                    lambda: self._archive_one(batch),
+                    on_retry=self._note_retry,
+                )
             except BaseException as exc:  # surfaced via _raise_if_failed
                 with self._cond:
+                    if isinstance(exc, DiskFault):
+                        self.stats.disk_faults += 1
                     self._error = exc
                     self._busy = False
                     self._cond.notify_all()

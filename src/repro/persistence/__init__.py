@@ -1,6 +1,11 @@
 """Durability: warehouse directories, sketch serialization, checkpoints."""
 
-from .checkpoint import load_engine, save_engine
+from .checkpoint import (
+    SimulatedCrash,
+    load_engine,
+    recover_checkpoint,
+    save_engine,
+)
 from .serialization import (
     SerializationError,
     dump_gk,
@@ -11,7 +16,9 @@ from .serialization import (
 from .warehouse_store import PersistenceError, load_store, save_store
 
 __all__ = [
+    "SimulatedCrash",
     "load_engine",
+    "recover_checkpoint",
     "save_engine",
     "SerializationError",
     "dump_gk",

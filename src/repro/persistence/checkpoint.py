@@ -10,15 +10,41 @@
 
 ``load_engine`` restores an engine that answers every query exactly as
 the saved one did and continues ingesting from the same time step.
+
+Crash consistency
+-----------------
+
+The checkpoint is atomic *as a whole*, not merely per file.  A save
+stages the complete state into a sibling ``<dir>.tmp`` (hard-linking
+partition files unchanged since the previous checkpoint), fsyncs it,
+and then promotes it with a rename dance::
+
+    <dir>       -> <dir>.old      (retire the previous checkpoint)
+    <dir>.tmp   -> <dir>          (commit point)
+    rmtree(<dir>.old)             (garbage-collect)
+
+A crash at any point leaves the directory tree in one of a small set
+of states that :func:`load_engine` recognizes and repairs before
+loading: a complete ``.tmp`` with no committed directory rolls
+*forward*, a retired ``.old`` with no committed directory rolls
+*back*, and stray staging leftovers next to a committed checkpoint are
+deleted.  The restored engine always answers exactly as either the old
+or the new checkpoint — never a mixture, never silently wrong.
+
+The module-level :data:`crash_hook` is the test seam: the crash
+recovery harness installs a callable raising :class:`SimulatedCrash`
+at a chosen named point (see :data:`CRASH_POINTS`) to freeze the
+directory tree mid-save.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import shutil
 from dataclasses import asdict
 from pathlib import Path
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -27,13 +53,59 @@ from ..core.config import EngineConfig
 from ..core.engine import HybridQuantileEngine
 from ..storage.disk import SimulatedDisk
 from .serialization import dump_gk, load_gk
-from .warehouse_store import PersistenceError, load_store, save_store
+from .warehouse_store import (
+    PersistenceError,
+    fsync_dir,
+    load_store,
+    save_store,
+)
 
 _ENGINE_FORMAT = "repro-engine-v1"
 ENGINE_FILE = "engine.json"
 SKETCH_FILE = "stream_sketch.bin"
 BUFFER_FILE = "stream_buffer.npy"
 WAREHOUSE_DIR = "warehouse"
+
+STAGE_SUFFIX = ".tmp"
+RETIRED_SUFFIX = ".old"
+
+#: Named points the save protocol passes through, in order.  The crash
+#: harness kills a save at each one and asserts recovery.
+CRASH_POINTS = (
+    "stage-created",  # empty staging directory exists
+    "mid-stage",      # warehouse + sketch + buffer staged, no engine.json
+    "staged",         # staging complete and fsynced, nothing renamed
+    "retired-old",    # previous checkpoint renamed away, new not yet in
+    "promoted",       # new checkpoint committed, old not yet removed
+)
+
+
+class SimulatedCrash(RuntimeError):
+    """Raised by a test :data:`crash_hook` to abort a save mid-flight."""
+
+
+#: Test seam: when set, called with each crash-point name as the save
+#: reaches it.  Raise :class:`SimulatedCrash` to simulate dying there.
+crash_hook: Optional[Callable[[str], None]] = None
+
+
+def _reach(point: str) -> None:
+    if crash_hook is not None:
+        crash_hook(point)
+
+
+def _stage_path(directory: Path) -> Path:
+    return directory.parent / (directory.name + STAGE_SUFFIX)
+
+
+def _retired_path(directory: Path) -> Path:
+    return directory.parent / (directory.name + RETIRED_SUFFIX)
+
+
+def _is_complete(directory: Path) -> bool:
+    """A checkpoint directory is complete iff its engine state file
+    exists — it is written (and fsynced) last during staging."""
+    return (directory / ENGINE_FILE).exists()
 
 
 def save_engine(engine: HybridQuantileEngine, directory: "str | Path") -> Path:
@@ -42,37 +114,146 @@ def save_engine(engine: HybridQuantileEngine, directory: "str | Path") -> Path:
     Background-mode engines are flushed first, so every sealed batch is
     fully archived before the warehouse is written; the checkpoint has
     no notion of in-flight archive work.
+
+    The save is crash-consistent: state is staged into a sibling
+    ``<directory>.tmp`` and committed with a single rename, so a crash
+    at any instant leaves either the previous checkpoint or the new one
+    recoverable by :func:`load_engine` — never a torn mixture.
+    Partition files unchanged since the previous checkpoint are
+    hard-linked into the stage rather than rewritten.
     """
     engine.flush()
     directory = Path(directory)
-    directory.mkdir(parents=True, exist_ok=True)
-    save_store(engine.store, directory / WAREHOUSE_DIR)
-    (directory / SKETCH_FILE).write_bytes(dump_gk(engine._gk))
-    np.save(directory / BUFFER_FILE, np.asarray(engine._buffer.view()))
+    if directory.parent != Path(""):
+        directory.parent.mkdir(parents=True, exist_ok=True)
+    if (
+        directory.exists()
+        and any(directory.iterdir())
+        and not _is_complete(directory)
+    ):
+        # The commit dance retires (and later deletes) the existing
+        # directory; refuse to do that to contents we do not own.
+        raise PersistenceError(
+            f"refusing to replace {directory}: it is non-empty but not "
+            "a checkpoint"
+        )
+    stage = _stage_path(directory)
+    retired = _retired_path(directory)
+    # Leftovers from an earlier crashed save: a stale stage is always
+    # garbage; a retired checkpoint is only garbage while the committed
+    # directory exists (otherwise it is the rollback target and
+    # load_engine's recovery owns it).
+    if stage.exists():
+        shutil.rmtree(stage)
+    if retired.exists() and directory.exists():
+        shutil.rmtree(retired)
+    stage.mkdir(parents=True)
+    _reach("stage-created")
+    previous_warehouse = directory / WAREHOUSE_DIR
+    save_store(
+        engine.store,
+        stage / WAREHOUSE_DIR,
+        reuse_from=(
+            previous_warehouse if previous_warehouse.is_dir() else None
+        ),
+    )
+    (stage / SKETCH_FILE).write_bytes(dump_gk(engine._gk))
+    np.save(stage / BUFFER_FILE, np.asarray(engine._buffer.view()))
+    _reach("mid-stage")
     state = {
         "format": _ENGINE_FORMAT,
         "config": asdict(engine.config),
         "step": engine._step,
         "stream_elems": engine.m_stream,
     }
-    temp = directory / (ENGINE_FILE + ".tmp")
-    with open(temp, "w", encoding="utf-8") as handle:
+    # engine.json is the completeness marker, so it is written last and
+    # made durable before any rename.
+    with open(stage / ENGINE_FILE, "w", encoding="utf-8") as handle:
         json.dump(state, handle, indent=2)
         handle.flush()
         os.fsync(handle.fileno())
-    os.replace(temp, directory / ENGINE_FILE)
+    fsync_dir(stage)
+    _reach("staged")
+    if directory.exists():
+        os.rename(directory, retired)
+        _reach("retired-old")
+    os.rename(stage, directory)  # commit point
+    fsync_dir(directory.parent)
+    _reach("promoted")
+    if retired.exists():
+        shutil.rmtree(retired)
     return directory
+
+
+def recover_checkpoint(directory: "str | Path") -> Path:
+    """Roll an interrupted :func:`save_engine` forward or back.
+
+    Idempotent; called automatically by :func:`load_engine`.  After it
+    returns, ``directory`` (if any checkpoint ever committed) is a
+    complete checkpoint and no ``.tmp``/``.old`` siblings remain.
+    Raises :class:`PersistenceError` only for states the protocol
+    cannot produce (e.g. every candidate directory incomplete).
+    """
+    directory = Path(directory)
+    stage = _stage_path(directory)
+    retired = _retired_path(directory)
+    if directory.exists() and _is_complete(directory):
+        # Committed checkpoint in place; anything beside it is debris
+        # from a save that died before (stage) or after (retired) the
+        # commit point.
+        if stage.exists():
+            shutil.rmtree(stage)
+        if retired.exists():
+            shutil.rmtree(retired)
+        return directory
+    if directory.exists():
+        # Only external tampering produces this: the protocol never
+        # commits an incomplete directory.
+        raise PersistenceError(
+            f"checkpoint {directory} is incomplete (no {ENGINE_FILE})"
+        )
+    if stage.exists() and _is_complete(stage):
+        # Crash between retiring the old checkpoint and committing the
+        # stage: the stage was fully fsynced (engine.json is written
+        # last), so roll forward.
+        os.rename(stage, directory)
+        fsync_dir(directory.parent)
+        if retired.exists():
+            shutil.rmtree(retired)
+        return directory
+    if retired.exists() and _is_complete(retired):
+        # Crash with an incomplete (or absent) stage after the old
+        # checkpoint was retired: roll back to it.
+        if stage.exists():
+            shutil.rmtree(stage)
+        os.rename(retired, directory)
+        fsync_dir(directory.parent)
+        return directory
+    if stage.exists() or retired.exists():
+        raise PersistenceError(
+            f"no recoverable checkpoint at {directory}: every candidate "
+            "is incomplete"
+        )
+    raise PersistenceError(f"no engine state at {directory / ENGINE_FILE}")
 
 
 def load_engine(
     directory: "str | Path",
     disk: Optional[SimulatedDisk] = None,
+    repair: bool = False,
 ) -> HybridQuantileEngine:
-    """Restore an engine checkpointed by :func:`save_engine`."""
-    directory = Path(directory)
+    """Restore an engine checkpointed by :func:`save_engine`.
+
+    Interrupted saves are rolled forward or back first (see
+    :func:`recover_checkpoint`).  With ``repair=True``, partition files
+    whose checksum disagrees with the manifest are salvaged when their
+    content is still a structurally valid sorted run (and the manifest
+    is rewritten); otherwise any inconsistency raises a typed
+    :class:`PersistenceError` — a checkpoint never loads silently
+    wrong.
+    """
+    directory = recover_checkpoint(directory)
     state_path = directory / ENGINE_FILE
-    if not state_path.exists():
-        raise PersistenceError(f"no engine state at {state_path}")
     try:
         state = json.loads(state_path.read_text(encoding="utf-8"))
     except json.JSONDecodeError as exc:
@@ -90,6 +271,7 @@ def load_engine(
         summary_builder=engine._build_partition_summary,
         # Restore into the same store flavour the config prescribes.
         store_cls=type(engine.store),
+        repair=repair,
     )
     engine._gk = load_gk((directory / SKETCH_FILE).read_bytes())
     buffer = np.load(directory / BUFFER_FILE)

@@ -5,13 +5,18 @@ warehouse *durable*: every partition is written to a ``.npy`` file in a
 directory, described by a versioned JSON manifest that is replaced
 atomically (write-to-temp then ``os.replace``), so a crash mid-save
 leaves the previous state intact.  CRC32 checksums in the manifest
-detect corrupted or tampered partition files on load.
+detect corrupted or tampered partition files on load; ``repair`` mode
+salvages files that are still structurally valid sorted runs and
+rewrites the manifest.  (Whole-checkpoint atomicity — staging the
+complete directory and committing it with one rename — lives one level
+up, in :mod:`repro.persistence.checkpoint`.)
 """
 
 from __future__ import annotations
 
 import json
 import os
+import shutil
 import zlib
 from pathlib import Path
 from typing import List, Optional
@@ -46,7 +51,30 @@ def _crc32_of(path: Path) -> int:
     return checksum
 
 
-def save_store(store: LeveledStore, directory: "str | Path") -> Path:
+def fsync_dir(path: "str | Path") -> None:
+    """Make a directory's entry list durable (best-effort)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def _fsync_file(path: Path) -> None:
+    with open(path, "rb") as handle:
+        os.fsync(handle.fileno())
+
+
+def save_store(
+    store: LeveledStore,
+    directory: "str | Path",
+    reuse_from: "Optional[str | Path]" = None,
+) -> Path:
     """Persist every partition of ``store`` plus an atomic manifest.
 
     Partition files already present from a previous save are rewritten
@@ -54,8 +82,16 @@ def save_store(store: LeveledStore, directory: "str | Path") -> Path:
     but a merged layout produces new names); files no longer referenced
     are removed after the new manifest is in place.  Returns the
     manifest path.
+
+    ``reuse_from`` names a previous checkpoint's warehouse directory:
+    partitions whose file already exists there are hard-linked (copied
+    when linking fails) instead of rewritten — partition files are
+    immutable, so sharing them across checkpoints is safe and makes
+    incremental checkpoints cheap.  Checksums always cover the bytes
+    actually on disk.
     """
     directory = Path(directory)
+    reuse = Path(reuse_from) if reuse_from is not None else None
     directory.mkdir(parents=True, exist_ok=True)
     manifest_levels = []
     wanted_files = {MANIFEST_NAME}
@@ -65,7 +101,15 @@ def save_store(store: LeveledStore, directory: "str | Path") -> Path:
             filename = _partition_filename(partition)
             path = directory / filename
             if not path.exists():
-                np.save(path, partition.run.values)
+                source = reuse / filename if reuse is not None else None
+                if source is not None and source.exists():
+                    try:
+                        os.link(source, path)
+                    except OSError:
+                        shutil.copy2(source, path)
+                else:
+                    np.save(path, partition.run.values)
+                    _fsync_file(path)
             level_entries.append(
                 {
                     "file": filename,
@@ -84,6 +128,16 @@ def save_store(store: LeveledStore, directory: "str | Path") -> Path:
         "steps_loaded": store.steps_loaded,
         "levels": manifest_levels,
     }
+    manifest_path = _write_manifest(directory, manifest)
+    for stale in directory.glob("part-*.npy"):
+        if stale.name not in wanted_files:
+            stale.unlink()
+    fsync_dir(directory)
+    return manifest_path
+
+
+def _write_manifest(directory: Path, manifest: dict) -> Path:
+    """Atomically replace the manifest (write-to-temp + rename)."""
     manifest_path = directory / MANIFEST_NAME
     temp_path = directory / (MANIFEST_NAME + ".tmp")
     with open(temp_path, "w", encoding="utf-8") as handle:
@@ -91,10 +145,29 @@ def save_store(store: LeveledStore, directory: "str | Path") -> Path:
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(temp_path, manifest_path)
-    for stale in directory.glob("part-*.npy"):
-        if stale.name not in wanted_files:
-            stale.unlink()
     return manifest_path
+
+
+def _salvage_partition(path: Path, entry: dict) -> Optional[np.ndarray]:
+    """Try to adopt a checksum-mismatched partition file.
+
+    The file is acceptable iff it still parses as an integer array of
+    exactly the manifest's length, sorted ascending — i.e. a
+    structurally valid sorted run whose recorded checksum is merely
+    stale.  Returns the array, or ``None`` when the file is truly
+    corrupt (unparseable, wrong shape, wrong dtype, or out of order).
+    """
+    try:
+        data = np.load(path)
+    except Exception:
+        return None
+    if data.ndim != 1 or not np.issubdtype(data.dtype, np.integer):
+        return None
+    if len(data) != int(entry["num_elems"]):
+        return None
+    if len(data) > 1 and not bool(np.all(np.diff(data) >= 0)):
+        return None
+    return data
 
 
 def load_store(
@@ -104,6 +177,7 @@ def load_store(
     summary_builder: Optional[SummaryBuilder] = None,
     verify_checksums: bool = True,
     store_cls: type = LeveledStore,
+    repair: bool = False,
 ) -> LeveledStore:
     """Rebuild a :class:`LeveledStore` from a saved directory.
 
@@ -112,6 +186,12 @@ def load_store(
     files.  Loading charges sequential reads for every partition, as a
     real recovery scan would.  ``store_cls`` selects the store flavour
     (e.g. LeveledCompactionStore) the layout should be adopted into.
+
+    With ``repair=True``, a partition whose checksum disagrees with the
+    manifest is adopted anyway when its content is still a structurally
+    valid sorted run of the recorded length (see
+    :func:`_salvage_partition`), and the manifest is rewritten with the
+    corrected checksum; an unsalvageable file still raises.
     """
     directory = Path(directory)
     manifest_path = directory / MANIFEST_NAME
@@ -134,6 +214,7 @@ def load_store(
         disk, kappa=stored_kappa, summary_builder=summary_builder
     )
     levels: List[List[Partition]] = []
+    repaired = 0
     for level_entries in manifest["levels"]:
         level: List[Partition] = []
         for entry in level_entries:
@@ -141,8 +222,21 @@ def load_store(
             if not path.exists():
                 raise PersistenceError(f"missing partition file {path}")
             if verify_checksums and _crc32_of(path) != entry["crc32"]:
-                raise PersistenceError(f"checksum mismatch in {path}")
-            data = np.load(path)
+                data = _salvage_partition(path, entry) if repair else None
+                if data is None:
+                    raise PersistenceError(
+                        f"checksum mismatch in {path}"
+                        + (" (unrepairable)" if repair else "")
+                    )
+                entry["crc32"] = _crc32_of(path)
+                repaired += 1
+            else:
+                try:
+                    data = np.load(path)
+                except Exception as exc:
+                    raise PersistenceError(
+                        f"unreadable partition file {path}: {exc}"
+                    ) from exc
             if len(data) != entry["num_elems"]:
                 raise PersistenceError(
                     f"{path} holds {len(data)} elements, manifest says "
@@ -159,5 +253,8 @@ def load_store(
                 )
             )
         levels.append(level)
+    if repaired:
+        # Persist the corrected checksums so the next load is clean.
+        _write_manifest(directory, manifest)
     store.load_partitions(levels)
     return store

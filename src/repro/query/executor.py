@@ -37,6 +37,8 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, List, Optional, Sequence
 
+from ..faults.errors import DiskFault
+from ..faults.retry import RetryPolicy
 from ..storage.cache import BlockCache
 
 
@@ -48,16 +50,29 @@ class QueryExecutor:
     workers:
         Maximum concurrent partition probes.  ``1`` (default) executes
         every task inline on the calling thread.
+    retry:
+        Transient-fault retry policy applied to each task
+        individually; defaults to no retries.  Engines pass
+        :attr:`~repro.core.config.EngineConfig.probe_retry_policy`.
+        A probe that exhausts its retries raises the fault to the
+        caller — the engine then degrades the query to the quick
+        response instead of crashing it.
 
     A *task* is any object with a ``run(cache)`` method — see
     :mod:`repro.query.planner` for the two task shapes the accurate
     search plans.
     """
 
-    def __init__(self, workers: int = 1) -> None:
+    def __init__(
+        self, workers: int = 1, retry: Optional[RetryPolicy] = None
+    ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
+        self.retry = retry if retry is not None else RetryPolicy()
+        #: probes retried after a transient fault (lifetime count).
+        self.fault_retries = 0
+        self._retry_lock = threading.Lock()
         self._pool: Optional[ThreadPoolExecutor] = None
         self._pool_guard = threading.Lock()
         self._closed = False
@@ -81,6 +96,23 @@ class QueryExecutor:
                 )
             return self._pool
 
+    def _note_retry(self, fault: DiskFault, attempt: int) -> None:
+        with self._retry_lock:
+            self.fault_retries += 1
+
+    def call_with_retry(self, fn: Any) -> Any:
+        """Run a zero-argument callable under this executor's retry
+        policy, counting any retries against :attr:`fault_retries`.
+
+        Used by the engine for disk work on the query path that is not
+        a planner task (e.g. staging a pending batch a query needs).
+        """
+        return self.retry.call(fn, on_retry=self._note_retry)
+
+    def _run_one(self, task: Any, cache: Optional[BlockCache]) -> Any:
+        """One task under the retry policy (any thread)."""
+        return self.call_with_retry(lambda: task.run(cache))
+
     def run_tasks(
         self,
         tasks: Sequence[Any],
@@ -90,12 +122,14 @@ class QueryExecutor:
 
         With one worker (or at most one task) this is exactly
         ``[task.run(cache) for task in tasks]`` — no pool, no threads.
-        Worker exceptions propagate to the caller unchanged.
+        Each task runs under the executor's retry policy; worker
+        exceptions (including a probe's exhausted transient fault)
+        propagate to the caller unchanged.
         """
         if not self.parallel or len(tasks) <= 1:
-            return [task.run(cache) for task in tasks]
+            return [self._run_one(task, cache) for task in tasks]
         pool = self._ensure_pool()
-        return list(pool.map(lambda task: task.run(cache), tasks))
+        return list(pool.map(lambda task: self._run_one(task, cache), tasks))
 
     def close(self) -> None:
         """Shut the thread pool down; further runs execute inline."""

@@ -64,8 +64,11 @@ class BlockCache:
             seen = self._seen.setdefault(run_id, set())
             if self._enabled and block in seen:
                 return
-            seen.add(block)
+            # Charge before recording: the charge may raise an injected
+            # DiskFault, and a block whose read failed must not look
+            # cached to the retried probe.
             self._disk.charge_random_read(1)
+            seen.add(block)
             with self._count_lock:
                 self.blocks_charged += 1
                 self.blocks_per_run[run_id] += 1

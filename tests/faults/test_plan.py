@@ -1,0 +1,116 @@
+"""Tests for the deterministic fault plan."""
+
+import json
+
+import pytest
+
+from repro.faults import FaultPlan
+from repro.faults.plan import CORRUPT, STALL, TRANSIENT
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        a = FaultPlan(seed=7, read_error_rate=0.3, write_error_rate=0.2)
+        b = FaultPlan(seed=7, read_error_rate=0.3, write_error_rate=0.2)
+        for index in range(500):
+            for op in ("read", "write"):
+                assert a.decide(op, index) == b.decide(op, index)
+
+    def test_different_seeds_differ(self):
+        a = FaultPlan(seed=1, read_error_rate=0.3)
+        b = FaultPlan(seed=2, read_error_rate=0.3)
+        decisions_a = [a.decide("read", i) for i in range(200)]
+        decisions_b = [b.decide("read", i) for i in range(200)]
+        assert decisions_a != decisions_b
+
+    def test_order_independent(self):
+        """The decision for op k never depends on earlier queries."""
+        plan = FaultPlan(seed=3, read_error_rate=0.5)
+        forward = [plan.decide("read", i) for i in range(100)]
+        backward = [plan.decide("read", i) for i in reversed(range(100))]
+        assert forward == list(reversed(backward))
+
+    def test_rates_are_approximately_honored(self):
+        plan = FaultPlan(seed=11, read_error_rate=0.25)
+        fired = sum(
+            plan.decide("read", i) is not None for i in range(4000)
+        )
+        assert 0.18 < fired / 4000 < 0.32
+
+
+class TestDecisions:
+    def test_null_plan_never_faults(self):
+        plan = FaultPlan(seed=9)
+        assert plan.null
+        assert all(
+            plan.decide(op, i) is None
+            for op in ("read", "write")
+            for i in range(100)
+        )
+
+    def test_max_faults_zero_is_null(self):
+        assert FaultPlan(read_error_rate=1.0, max_faults=0).null
+
+    def test_read_bands(self):
+        plan = FaultPlan(seed=5, read_error_rate=0.4, corrupt_rate=0.6)
+        decisions = {plan.decide("read", i) for i in range(200)}
+        assert decisions == {TRANSIENT, CORRUPT}
+
+    def test_write_bands(self):
+        plan = FaultPlan(seed=5, write_error_rate=0.4, stall_rate=0.6)
+        decisions = {plan.decide("write", i) for i in range(200)}
+        assert decisions == {TRANSIENT, STALL}
+
+    def test_read_rates_never_fault_writes(self):
+        plan = FaultPlan(seed=5, read_error_rate=1.0)
+        assert all(plan.decide("write", i) is None for i in range(100))
+
+    def test_pinned_operation_faults(self):
+        plan = FaultPlan(seed=1, fail_at={("write", 3)})
+        assert plan.decide("write", 3) == TRANSIENT
+        assert plan.decide("read", 3) is None
+        assert plan.decide("write", 4) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(read_error_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(read_error_rate=0.7, corrupt_rate=0.7)
+        with pytest.raises(ValueError):
+            FaultPlan(stall_seconds=-1.0)
+        with pytest.raises(ValueError):
+            FaultPlan(max_faults=-1)
+
+
+class TestSpecRoundTrip:
+    def test_json_round_trip(self):
+        plan = FaultPlan(
+            seed=13,
+            read_error_rate=0.1,
+            corrupt_rate=0.05,
+            max_faults=9,
+            fail_at={("read", 2), ("write", 7)},
+        )
+        assert FaultPlan.from_spec(plan.to_json()) == plan
+
+    def test_from_dict(self):
+        plan = FaultPlan.from_spec({"seed": 4, "write_error_rate": 0.2})
+        assert plan.seed == 4
+        assert plan.write_error_rate == 0.2
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps({"seed": 8, "read_error_rate": 0.3}))
+        assert FaultPlan.from_spec(str(path)).seed == 8
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault plan"):
+            FaultPlan.from_spec({"seeed": 4})
+
+    def test_missing_file_rejected(self):
+        with pytest.raises(ValueError, match="not found"):
+            FaultPlan.from_spec("no/such/plan.json")
+
+    def test_garbled_json_rejected(self):
+        with pytest.raises(ValueError, match="garbled"):
+            FaultPlan.from_spec("{not json")
