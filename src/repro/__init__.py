@@ -27,6 +27,8 @@ from .core import (
     MemoryReport,
     QuantileWatcher,
     QueryResult,
+    ServingConfig,
+    SnapshotHandle,
     StepReport,
     WindowNotAlignedError,
     epsilon_for_budget,
@@ -42,6 +44,13 @@ from .faults import (
     TransientWriteError,
 )
 from .query import QueryExecutor, QueryPlanner
+from .serving import (
+    LoadGenerator,
+    MetricsSnapshot,
+    Overloaded,
+    QueryService,
+    ServiceMetrics,
+)
 from .sketches import (
     ExactQuantiles,
     GKSketch,
@@ -84,6 +93,13 @@ __all__ = [
     "TransientWriteError",
     "QueryExecutor",
     "QueryPlanner",
+    "LoadGenerator",
+    "MetricsSnapshot",
+    "Overloaded",
+    "QueryService",
+    "ServiceMetrics",
+    "ServingConfig",
+    "SnapshotHandle",
     "ExactQuantiles",
     "GKSketch",
     "MRL99Sketch",

@@ -164,10 +164,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
         # config keeps whatever `init --query-workers` chose.
         engine.set_query_workers(args.query_workers)
     print(f"{'phi':>6} {'value':>16} {'rank target':>12} {'disk I/O':>9}")
-    for phi in args.phi:
-        result = engine.quantile(
-            phi, mode=args.mode, window_steps=args.window
-        )
+    # One pinned snapshot answers every phi: quick mode shares a single
+    # TS merge across the list, accurate mode shares the block cache.
+    results = engine.quantile_many(
+        args.phi, mode=args.mode, window_steps=args.window
+    )
+    for phi, result in zip(args.phi, results):
         print(f"{phi:>6} {result.value:>16,} {result.target_rank:>12,} "
               f"{result.disk_accesses:>9}"
               + ("  DEGRADED" if result.degraded else ""))
@@ -254,6 +256,42 @@ def _cmd_demo(args: argparse.Namespace) -> int:
               f"{report.degraded_queries} degraded queries")
     _dump_transcript(args, engine.disk)
     engine.close()
+    return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from .serving import run_serving_bench
+
+    clients = tuple(args.clients)
+    print(f"serve-bench: {args.steps} steps x {args.batch:,} elements, "
+          f"clients {list(clients)}, {args.requests} requests/client")
+    doc = run_serving_bench(
+        steps=args.steps,
+        batch=args.batch,
+        clients=clients,
+        requests_per_client=args.requests,
+        seed=args.seed,
+    )
+    print(f"{'clients':>7} {'coalesce':>8} {'served':>7} {'merges':>7} "
+          f"{'ratio':>6} {'qps':>9} {'p50 ms':>7} {'p99 ms':>7}")
+    for row in doc["closed_loop"]:
+        print(f"{row['clients']:>7} {str(row['coalesce']):>8} "
+              f"{row['served']:>7} {row['ts_merges']:>7} "
+              f"{row['coalescing_ratio']:>6.3f} "
+              f"{row['throughput_qps']:>9.0f} {row['p50_ms']:>7.2f} "
+              f"{row['p99_ms']:>7.2f}"
+              + ("" if row["bit_identical"] else "  MISMATCH"))
+    for row in doc["overload"]:
+        print(f"overload[{row['mode']}]: {row['served']}/{row['requests']} "
+              f"served, {row['rejected']} rejected, "
+              f"{row['degraded']} degraded, "
+              f"peak queue {row['peak_queue_depth']} "
+              f"(bound {row['queue_bound']}), p99 {row['p99_ms']:.1f} ms")
+    if args.output is not None:
+        Path(args.output).write_text(
+            json.dumps(doc, indent=2) + "\n", encoding="utf-8"
+        )
+        print(f"results -> {args.output}")
     return 0
 
 
@@ -348,6 +386,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_fault_options(demo)
     demo.set_defaults(handler=_cmd_demo)
+
+    serve = commands.add_parser(
+        "serve-bench",
+        help="benchmark the concurrent query service (ablation A8)",
+    )
+    serve.add_argument("--steps", type=int, default=6)
+    serve.add_argument("--batch", type=int, default=20_000)
+    serve.add_argument(
+        "--clients", type=int, nargs="+", default=[1, 8, 32],
+        help="closed-loop client counts to sweep",
+    )
+    serve.add_argument(
+        "--requests", type=int, default=25,
+        help="requests per closed-loop client",
+    )
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument(
+        "--output", metavar="PATH", default=None,
+        help="write the full result document as JSON",
+    )
+    serve.set_defaults(handler=_cmd_serve_bench)
 
     return parser
 

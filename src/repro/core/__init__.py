@@ -1,14 +1,17 @@
 """The paper's core contribution: the hybrid quantile engine."""
 
 from .bounds import CombinedSummary
-from .config import EngineConfig
+from .config import EngineConfig, ServingConfig
 from .engine import HybridQuantileEngine, MemoryReport, QueryResult, StepReport
+from .epoch import EpochRegistry, EpochStats, SnapshotHandle
 from .monitoring import (
     HealthRule,
     MonitorRule,
     QuantileAlert,
     QuantileWatcher,
     ReliabilityAlert,
+    ServiceAlert,
+    ServiceRule,
 )
 from .snapshot import EngineSnapshot, snapshot
 from .memory import (
@@ -25,6 +28,10 @@ from .windows import WindowNotAlignedError, resolve_window
 __all__ = [
     "CombinedSummary",
     "EngineConfig",
+    "EpochRegistry",
+    "EpochStats",
+    "ServingConfig",
+    "SnapshotHandle",
     "HybridQuantileEngine",
     "MemoryReport",
     "QueryResult",
@@ -34,6 +41,8 @@ __all__ = [
     "QuantileAlert",
     "QuantileWatcher",
     "ReliabilityAlert",
+    "ServiceAlert",
+    "ServiceRule",
     "EngineSnapshot",
     "snapshot",
     "WORDS_PER_MB",

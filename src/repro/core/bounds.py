@@ -142,6 +142,18 @@ class CombinedSummary:
             j = len(self.values) - 1
         return int(self.values[j])
 
+    def quick_responses(self, ranks: np.ndarray) -> np.ndarray:
+        """Vectorized Algorithm 5 over many target ranks at once.
+
+        One ``searchsorted`` answers the whole batch — this is the pass
+        the serving layer's coalescer shares across every quick request
+        pinned at the same epoch.  Element ``i`` equals
+        ``quick_response(ranks[i])`` exactly.
+        """
+        idx = np.searchsorted(self.lower, np.asarray(ranks), side="left")
+        idx = np.minimum(idx, len(self.values) - 1)
+        return self.values[idx]
+
     def generate_filters(self, rank: int) -> "tuple[int, int]":
         """Algorithm 7: values (u, v) bracketing the element of rank r.
 

@@ -212,3 +212,82 @@ class EngineConfig:
         if self.residual_fetch_elems is not None:
             return self.residual_fetch_elems
         return max(math.ceil(1.0 / self.epsilon), self.block_elems)
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Tunables of the concurrent query service (:mod:`repro.serving`).
+
+    Parameters
+    ----------
+    max_queue:
+        Admission bound on requests waiting to execute (across modes
+        unless ``accurate_queue`` splits the budget).  A request
+        arriving past the bound is rejected with a typed
+        :class:`~repro.serving.admission.Overloaded` — bounded queues
+        instead of unbounded latency collapse.
+    accurate_queue:
+        Optional separate bound for accurate-path requests (their
+        probes hold disk resources much longer than quick answers).
+        ``None`` shares ``max_queue``.
+    quick_workers:
+        Dispatcher threads draining the quick-path queue.  One is the
+        sweet spot: the coalescer batches everything that arrived in a
+        window into one vectorized pass, so more dispatchers only
+        fragment batches.
+    accurate_workers:
+        Worker threads running accurate searches concurrently (each
+        search internally fans partition probes over the engine's
+        ``query_workers`` pool).
+    coalesce:
+        Batch quick requests pinned at the same epoch into one TS merge
+        plus one vectorized rank-bound pass (the tentpole win: merges
+        per served request drop below 1).
+    coalesce_window_ms:
+        How long the dispatcher lingers after taking the first request
+        of a batch, letting concurrent arrivals join it.
+    coalesce_max_batch:
+        Hard cap on requests per coalesced batch.
+    degrade_on_overload:
+        When the accurate queue is full, degrade the request to the
+        quick path (flagged on the result) instead of rejecting it —
+        the serving-side analogue of ``degrade_on_fault``.
+    metrics_epsilon:
+        Error parameter of the GK sketches backing the service's
+        latency histograms (our own summaries eating our dogfood).
+    """
+
+    max_queue: int = 64
+    accurate_queue: Optional[int] = None
+    quick_workers: int = 1
+    accurate_workers: int = 2
+    coalesce: bool = True
+    coalesce_window_ms: float = 2.0
+    coalesce_max_batch: int = 64
+    degrade_on_overload: bool = False
+    metrics_epsilon: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if self.accurate_queue is not None and self.accurate_queue < 1:
+            raise ValueError("accurate_queue must be >= 1")
+        if self.quick_workers < 1:
+            raise ValueError("quick_workers must be >= 1")
+        if self.accurate_workers < 1:
+            raise ValueError("accurate_workers must be >= 1")
+        if self.coalesce_window_ms < 0:
+            raise ValueError("coalesce_window_ms must be >= 0")
+        if self.coalesce_max_batch < 1:
+            raise ValueError("coalesce_max_batch must be >= 1")
+        if not 0 < self.metrics_epsilon < 1:
+            raise ValueError("metrics_epsilon must be in (0, 1)")
+
+    @property
+    def accurate_queue_bound(self) -> int:
+        """The effective accurate-path admission bound."""
+        return (
+            self.accurate_queue
+            if self.accurate_queue is not None
+            else self.max_queue
+        )

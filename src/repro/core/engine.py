@@ -42,7 +42,7 @@ import math
 import threading
 import time
 from dataclasses import dataclass, field, replace
-from typing import Iterable, List, Optional, Sequence
+from typing import Callable, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -60,6 +60,7 @@ from ..warehouse.leveled_store import LeveledStore, window_sizes_from
 from ..warehouse.partition import Partition
 from .bounds import CombinedSummary
 from .config import EngineConfig
+from .epoch import EpochRegistry, EpochStats, SnapshotHandle
 from .filters import AccurateSearch
 from .summaries import PartitionSummary, StreamSummary
 from .aggregates import AggregateStats, combine, partition_stats
@@ -225,6 +226,15 @@ class HybridQuantileEngine:
         )
         self._degraded_queries = 0
         self._reliability_lock = threading.Lock()
+        # Epoch layer: every structural transition (seal, adoption)
+        # bumps the epoch, and pinned SnapshotHandles are refcounted
+        # per epoch — the serving layer's consistency unit.
+        self._epochs = EpochRegistry()
+        # Serializes end_time_step's seal (take buffer + reset sketch +
+        # enqueue pending) against pin(): a reader never observes the
+        # instant where a sealed batch is in neither the stream nor the
+        # pending set.
+        self._seal_lock = threading.RLock()
         # Created lazily on the first background end_time_step, so it
         # always binds the *final* store (load_engine swaps the store
         # attribute after construction).
@@ -280,17 +290,40 @@ class HybridQuantileEngine:
         archive work runs on the background thread and the returned
         report is provisional (``archived=False``).  Call
         :meth:`flush` to drain and obtain the authoritative reports.
+
+        The seal runs under the epoch layer's seal lock, atomically
+        with respect to :meth:`pin`: a concurrent reader sees the
+        sealed elements either still in the stream or already in the
+        pending set, never in neither.  Any backpressure wait happens
+        *before* the lock is taken, so pins are never blocked behind a
+        full archiver queue.
         """
-        self._step += 1
         started = time.perf_counter()
-        batch = self._buffer.take()
-        batch_stats = self._stream_stats
-        self._m = 0
-        self._gk = self._fresh_stream_sketch()
-        self._stream_stats = AggregateStats.empty()
         if self.config.ingest_mode == "background":
-            return self._end_time_step_background(batch, batch_stats, started)
-        return self._end_time_step_sync(batch, started)
+            archiver = self._ensure_archiver()
+            archiver.reserve()
+            with self._seal_lock:
+                self._step += 1
+                batch = self._buffer.take()
+                batch_stats = self._stream_stats
+                self._m = 0
+                self._gk = self._fresh_stream_sketch()
+                self._stream_stats = AggregateStats.empty()
+                pending = PendingBatch(step=self._step, values=batch)
+                pending.stats = batch_stats
+                depth = archiver.enqueue_reserved(pending)
+                self._epochs.bump("seal")
+            return self._finish_background_step(
+                pending, archiver, depth, started
+            )
+        with self._seal_lock:
+            self._step += 1
+            batch = self._buffer.take()
+            self._m = 0
+            self._gk = self._fresh_stream_sketch()
+            self._stream_stats = AggregateStats.empty()
+            self._epochs.bump("seal")
+            return self._end_time_step_sync(batch, started)
 
     def _end_time_step_sync(
         self, batch: np.ndarray, started: float
@@ -321,19 +354,19 @@ class HybridQuantileEngine:
             archive_wall_seconds=wall,
         )
 
-    def _end_time_step_background(
-        self, batch: np.ndarray, batch_stats: AggregateStats, started: float
+    def _finish_background_step(
+        self,
+        pending: PendingBatch,
+        archiver: BackgroundArchiver,
+        depth: int,
+        started: float,
     ) -> StepReport:
-        pending = PendingBatch(step=self._step, values=batch)
-        pending.stats = batch_stats
-        archiver = self._ensure_archiver()
-        _, depth = archiver.submit(pending)
         stall = time.perf_counter() - started
         pending.stall_seconds = stall
         archiver.stats.stall_seconds += stall
         return StepReport(
-            step=self._step,
-            batch_elems=int(batch.size),
+            step=pending.step,
+            batch_elems=pending.size,
             io_total=0,
             io_load=0,
             io_sort=0,
@@ -369,6 +402,10 @@ class HybridQuantileEngine:
                 self.store,
                 max_pending=self.config.ingest_queue_batches,
                 retry=self.config.archive_retry_policy,
+                # Adoption changes the partition set, so it bumps the
+                # epoch — inside the same critical section that splices
+                # the partition, keeping epoch and layout in lockstep.
+                on_adopt=lambda step: self._epochs.bump("adopt"),
             )
             self._archiver.stats.degraded_queries = self._degraded_queries
         return self._archiver
@@ -488,23 +525,23 @@ class HybridQuantileEngine:
         lo, hi = self._gk.rank_bounds(int(value))
         return (lo + hi) / 2.0
 
-    def _queryable_partitions(self) -> List[Partition]:
-        """Step-ordered snapshot of every sealed element's partition.
-
-        In sync mode this is just the store's layout snapshot.  In
-        background mode the adopted layout and the archiver's pending
-        set are snapshotted *atomically* under the layout lock (the
-        archiver adopts and unlinks in one critical section of the same
-        lock), so every sealed batch appears exactly once no matter how
-        the snapshot races an in-flight adoption.  Pending batches are
-        then staged by this thread if needed — work-stealing, so a
-        query never waits behind an in-flight cascade merge.
-        """
+    def _layout_snapshot(
+        self,
+    ) -> "tuple[List[Partition], List[PendingBatch], int]":
+        """Atomic (adopted layout, pending set, epoch) triple."""
         if self._archiver is None:
-            return self.store.partitions()
+            with self.store.layout_lock:
+                return self.store.partitions(), [], self._epochs.current
         with self.store.layout_lock:
-            ordered = self.store.partitions()
-            pending = self._archiver.pending_batches()
+            return (
+                self.store.partitions(),
+                self._archiver.pending_batches(),
+                self._epochs.current,
+            )
+
+    def _stage_pending(
+        self, ordered: List[Partition], pending: "List[PendingBatch]"
+    ) -> List[Partition]:
         for batch in pending:
             # Staging writes to disk, so it runs under the probe retry
             # policy; an exhausted retry propagates as a typed fault —
@@ -517,31 +554,77 @@ class HybridQuantileEngine:
             )
         return ordered
 
+    def _queryable_partitions(self) -> List[Partition]:
+        """Step-ordered snapshot of every sealed element's partition.
+
+        In sync mode this is just the store's layout snapshot.  In
+        background mode the adopted layout and the archiver's pending
+        set are snapshotted *atomically* under the layout lock (the
+        archiver adopts and unlinks in one critical section of the same
+        lock), so every sealed batch appears exactly once no matter how
+        the snapshot races an in-flight adoption.  Pending batches are
+        then staged by this thread if needed — work-stealing, so a
+        query never waits behind an in-flight cascade merge.
+        """
+        ordered, pending, _ = self._layout_snapshot()
+        return self._stage_pending(ordered, pending)
+
+    def pin(self) -> SnapshotHandle:
+        """Pin a refcounted, consistent (HS, SS, partition-set) view.
+
+        The partition list (adopted plus staged pending), the stream
+        sketch snapshot and the epoch stamp are taken atomically under
+        the seal lock, so the handle's union is exactly the engine's
+        state at one instant — a seal or adoption either happened
+        before the pin or after it, never halfway.  Release the handle
+        (or use it as a context manager) so the registry can retire old
+        epochs.
+
+        Two handles pinned at the same epoch with no stream updates in
+        between answer every query identically — the property the
+        serving layer's coalescer and the stress suite's bit-identical
+        replay both build on.
+        """
+        with self._seal_lock:
+            ordered, pending, epoch = self._layout_snapshot()
+            self._stage_pending(ordered, pending)
+            gk = self._gk.snapshot()
+            step = self._step
+        self._epochs.pin(epoch)
+        return SnapshotHandle(
+            registry=self._epochs,
+            epoch=epoch,
+            partitions=ordered,
+            gk=gk,
+            config=self.config,
+            disk=self.disk,
+            executor=self._query_executor,
+            note_degraded=self._note_degraded_query,
+            created_at_step=step,
+        )
+
+    @property
+    def epoch_stats(self) -> EpochStats:
+        """The epoch layer's counters (pins, bumps, TS merges)."""
+        return self._epochs.stats()
+
     def _query_scope(
         self,
         window_steps: Optional[int],
         step_range: "Optional[tuple[int, int]]" = None,
-    ) -> "tuple[List[Partition], StreamSummary, CombinedSummary]":
-        ordered = self._queryable_partitions()
-        if step_range is not None:
-            if window_steps is not None:
-                raise ValueError("pass window_steps or step_range, not both")
-            partitions = resolve_range_in(ordered, *step_range)
-            # A historical interval excludes the live stream.
-            ss = StreamSummary(
-                values=np.empty(0, dtype=np.int64),
-                stream_size=0,
-                eps2=self.config.epsilon2,
-            )
-        else:
-            if window_steps is None:
-                partitions = ordered
-            else:
-                partitions = resolve_window_in(ordered, window_steps)
-            ss = self.stream_summary()
-        summaries = [p.summary for p in partitions if len(p) > 0]
-        combined = CombinedSummary.build(summaries, ss)
-        return partitions, ss, combined
+    ) -> (
+        "tuple[List[Partition], StreamSummary, CombinedSummary,"
+        " Optional[Callable[[int], float]]]"
+    ):
+        """One query's pinned scope: partitions, SS, TS and the
+        stream-rank estimator bound to the pinned sketch."""
+        with self.pin() as handle:
+            partitions, ss = handle.scope(window_steps, step_range)
+            combined = handle.combined(window_steps, step_range)
+            # Historical-range queries exclude the live stream, so the
+            # sketch-backed estimator must not contribute.
+            rank_fn = handle.stream_rank if step_range is None else None
+            return partitions, ss, combined, rank_fn
 
     def query_rank(
         self,
@@ -566,7 +649,7 @@ class HybridQuantileEngine:
         io_before = self.disk.stats.counters.snapshot()
         self.disk.stats.set_phase("query")
         try:
-            partitions, ss, combined = self._query_scope(
+            partitions, ss, combined, rank_fn = self._query_scope(
                 window_steps, step_range
             )
             total = combined.total_size
@@ -588,14 +671,11 @@ class HybridQuantileEngine:
                     combined=combined,
                     config=self.config,
                     rank=rank,
-                    # Historical-range queries exclude the live stream,
-                    # so the sketch-backed estimator must not
-                    # contribute.
-                    stream_rank_fn=(
-                        self._stream_rank_estimate
-                        if step_range is None
-                        else None
-                    ),
+                    # Bound to the *pinned* sketch snapshot, so a
+                    # concurrent stream update cannot shift rank
+                    # estimates mid-search (None for historical-range
+                    # queries, which exclude the live stream).
+                    stream_rank_fn=rank_fn,
                     executor=self._query_executor,
                 )
                 try:
@@ -702,7 +782,7 @@ class HybridQuantileEngine:
         """
         io_before = self.disk.stats.counters.snapshot()
         self.disk.stats.set_phase("query")
-        partitions, ss, combined = self._query_scope(window_steps)
+        partitions, ss, combined, rank_fn = self._query_scope(window_steps)
         total = combined.total_size
         quick_bound = self._quick_rank_bound(total, ss.stream_size)
         cache = BlockCache(self.disk, enabled=self.config.block_cache)
@@ -716,7 +796,7 @@ class HybridQuantileEngine:
                 combined=combined,
                 config=self.config,
                 rank=rank,
-                stream_rank_fn=self._stream_rank_estimate,
+                stream_rank_fn=rank_fn,
                 cache=cache,
                 executor=self._query_executor,
             )
@@ -775,6 +855,31 @@ class HybridQuantileEngine:
             # total pass cost attributed once, on the final result
             results[-1] = replace(results[-1], sim_seconds=sim)
         return results
+
+    def quantile_many(
+        self,
+        phis: "Sequence[float]",
+        mode: str = "quick",
+        window_steps: Optional[int] = None,
+    ) -> List[QueryResult]:
+        """Answer many quantiles against one pinned snapshot.
+
+        The public vectorized entry point the serving layer's coalescer
+        (and the CLI's multi-``--phi`` path) uses.  Quick mode pins one
+        snapshot, builds TS once, and answers every ``phi`` with a
+        single vectorized rank-bound pass; accurate mode delegates to
+        :meth:`quantiles`, which shares one stream summary and block
+        cache across the searches.  Results are index-aligned with
+        ``phis``.
+        """
+        if mode not in ("quick", "accurate"):
+            raise ValueError("mode must be 'quick' or 'accurate'")
+        if mode == "accurate":
+            return self.quantiles(phis, window_steps=window_steps)
+        with self.pin() as handle:
+            return handle.quantile_many(
+                phis, mode="quick", window_steps=window_steps
+            )
 
     def aggregate(
         self,

@@ -1,0 +1,493 @@
+"""Epochs and pinned snapshot handles: the serving layer's read side.
+
+A warehouse that answers quantile queries *while* batches keep arriving
+(the paper's Algorithm 3 setting, and the whole point of the
+quick/accurate split) needs a cheap notion of "the state a query ran
+against".  An **epoch** is a monotone counter over the engine's
+structural transitions — a batch being sealed out of the stream, or the
+background archiver adopting a staged partition into the leveled
+layout.  Two queries pinned at the same epoch see the identical
+(HS, SS, partition-set) triple, which is what lets the serving layer's
+coalescer answer a whole batch of concurrent requests from **one**
+TS merge instead of one merge per request.
+
+:class:`SnapshotHandle` pins one such view: the step-ordered partition
+list (adopted *plus* staged pending batches), a copy-on-query snapshot
+of the live GK sketch, and the epoch stamp.  The handle answers
+``query_rank`` / ``quantile`` / ``quantile_many`` exactly as the engine
+would have at pin time, no matter how far ingest advances afterwards —
+and answering the *same* rank against the *same* handle is
+deterministic, which the concurrency stress suite exploits to check
+bit-identical replay.
+
+:class:`EpochRegistry` refcounts the handles pinned per epoch.  When
+the archiver adopts a partition it bumps the epoch; an old epoch whose
+last handle releases is *retired* (its partition references drop, so in
+a file-backed deployment the manifest refcount would free the
+pre-merge partition files).  The registry also counts TS merges —
+the serving benchmark's coalescing ratio is
+``ts_merges / requests_served``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..faults.errors import DiskFault
+from ..sketches.base import rank_for_phi
+from ..sketches.gk import GKSketch
+from ..storage.cache import BlockCache
+from ..storage.disk import SimulatedDisk
+from ..warehouse.partition import Partition
+from .bounds import CombinedSummary
+from .config import EngineConfig
+from .filters import AccurateSearch
+from .summaries import StreamSummary
+from .windows import resolve_range_in, resolve_window_in
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..query.executor import QueryExecutor
+    from .engine import QueryResult
+
+
+@dataclass(frozen=True)
+class EpochStats:
+    """One consistent reading of an :class:`EpochRegistry`'s counters."""
+
+    #: current epoch number (0 before the first seal/adopt).
+    current_epoch: int
+    #: epoch bumps caused by ``end_time_step`` sealing a batch.
+    seal_bumps: int
+    #: epoch bumps caused by the archiver adopting a staged partition.
+    adopt_bumps: int
+    #: handles currently pinned (across all epochs).
+    live_pins: int
+    #: high-water mark of concurrently pinned handles.
+    peak_pins: int
+    #: epochs fully released after falling behind the current one.
+    epochs_retired: int
+    #: TS merges (``CombinedSummary.build`` passes) performed for
+    #: queries — the denominator-side of the coalescing ratio.
+    ts_merges: int
+
+
+class EpochRegistry:
+    """Monotone epoch counter plus per-epoch handle refcounts."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._epoch = 0
+        self._refs: Dict[int, int] = {}
+        self._live = 0
+        self._peak = 0
+        self._retired = 0
+        self._seal_bumps = 0
+        self._adopt_bumps = 0
+        self._ts_merges = 0
+
+    @property
+    def current(self) -> int:
+        """The current epoch number."""
+        with self._lock:
+            return self._epoch
+
+    def bump(self, reason: str = "seal") -> int:
+        """Advance the epoch; returns the new number.
+
+        ``reason`` is ``"seal"`` (a batch left the live stream) or
+        ``"adopt"`` (the archiver spliced a staged partition into the
+        leveled layout).  Callers invoke this inside the critical
+        section that performs the transition, so a pin always observes
+        the epoch and the state it stamps together.
+        """
+        with self._lock:
+            self._epoch += 1
+            if reason == "adopt":
+                self._adopt_bumps += 1
+            else:
+                self._seal_bumps += 1
+            return self._epoch
+
+    def pin(self, epoch: int) -> None:
+        """Register one handle pinned at ``epoch``."""
+        with self._lock:
+            self._refs[epoch] = self._refs.get(epoch, 0) + 1
+            self._live += 1
+            self._peak = max(self._peak, self._live)
+
+    def release(self, epoch: int) -> None:
+        """Drop one handle's pin; retire the epoch when it empties.
+
+        An epoch is retired once its last handle releases *and* it is
+        no longer current — the moment its pre-merge partition
+        references become unreachable.
+        """
+        with self._lock:
+            count = self._refs.get(epoch, 0) - 1
+            self._live -= 1
+            if count <= 0:
+                self._refs.pop(epoch, None)
+                if epoch != self._epoch:
+                    self._retired += 1
+            else:
+                self._refs[epoch] = count
+
+    def note_ts_merge(self) -> None:
+        """Count one TS merge performed on behalf of queries."""
+        with self._lock:
+            self._ts_merges += 1
+
+    def stats(self) -> EpochStats:
+        """Snapshot every counter atomically."""
+        with self._lock:
+            return EpochStats(
+                current_epoch=self._epoch,
+                seal_bumps=self._seal_bumps,
+                adopt_bumps=self._adopt_bumps,
+                live_pins=self._live,
+                peak_pins=self._peak,
+                epochs_retired=self._retired,
+                ts_merges=self._ts_merges,
+            )
+
+
+class SnapshotHandle:
+    """A refcounted pin of one consistent (HS, SS, partition-set) view.
+
+    Created by :meth:`HybridQuantileEngine.pin`; release with
+    :meth:`release` (or use as a context manager).  All query methods
+    are thread-safe — the serving layer shares one handle across a
+    coalesced batch of requests, and the lazily built combined summary
+    (one TS merge) is cached on the handle, so every request of the
+    batch rides the same merge.
+    """
+
+    def __init__(
+        self,
+        registry: EpochRegistry,
+        epoch: int,
+        partitions: List[Partition],
+        gk: GKSketch,
+        config: EngineConfig,
+        disk: SimulatedDisk,
+        executor: "QueryExecutor",
+        note_degraded: Callable[[], None],
+        created_at_step: int,
+    ) -> None:
+        self._registry = registry
+        self.epoch = epoch
+        self.partitions = partitions
+        self.gk = gk
+        self.config = config
+        self._disk = disk
+        self._executor = executor
+        self._note_degraded = note_degraded
+        self.created_at_step = created_at_step
+        self.n_historical = sum(len(p) for p in partitions)
+        self.m_stream = gk.n
+        self._cache_lock = threading.RLock()
+        self._ss: Optional[StreamSummary] = None
+        self._combined: Optional[CombinedSummary] = None
+        self._merges = 0
+        self._released = False
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def released(self) -> bool:
+        """Whether :meth:`release` has run."""
+        return self._released
+
+    def release(self) -> None:
+        """Drop this handle's pin (idempotent).
+
+        The handle keeps answering afterwards (its references stay
+        valid in-process); releasing just lets the registry retire the
+        epoch so a file-backed deployment could free pre-merge
+        partitions.
+        """
+        if not self._released:
+            self._released = True
+            self._registry.release(self.epoch)
+
+    def __enter__(self) -> "SnapshotHandle":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    # -- derived views --------------------------------------------------
+
+    @property
+    def n_total(self) -> int:
+        """Total number of elements N = n + m at pin time."""
+        return self.n_historical + self.m_stream
+
+    def stream_summary(self) -> StreamSummary:
+        """SS extracted from the pinned sketch (cached)."""
+        with self._cache_lock:
+            if self._ss is None:
+                self._ss = StreamSummary.extract(
+                    self.gk, self.config.epsilon2
+                )
+            return self._ss
+
+    def stream_rank(self, value: int) -> float:
+        """Rank estimate of ``value`` in the pinned stream (midpoint)."""
+        if self.gk.n == 0:
+            return 0.0
+        lo, hi = self.gk.rank_bounds(int(value))
+        return (lo + hi) / 2.0
+
+    def scope(
+        self,
+        window_steps: Optional[int] = None,
+        step_range: "Optional[tuple[int, int]]" = None,
+    ) -> "tuple[List[Partition], StreamSummary]":
+        """The (partitions, SS) pair a query over this scope covers."""
+        if step_range is not None:
+            if window_steps is not None:
+                raise ValueError("pass window_steps or step_range, not both")
+            partitions = resolve_range_in(self.partitions, *step_range)
+            # A historical interval excludes the live stream.
+            ss = StreamSummary(
+                values=np.empty(0, dtype=np.int64),
+                stream_size=0,
+                eps2=self.config.epsilon2,
+            )
+            return partitions, ss
+        if window_steps is None:
+            return self.partitions, self.stream_summary()
+        partitions = resolve_window_in(self.partitions, window_steps)
+        return partitions, self.stream_summary()
+
+    def combined(
+        self,
+        window_steps: Optional[int] = None,
+        step_range: "Optional[tuple[int, int]]" = None,
+    ) -> CombinedSummary:
+        """TS over the scope; the full-scope merge is built once.
+
+        Every build is counted against the registry's ``ts_merges`` —
+        the serving benchmark's coalescing ratio divides this by
+        requests served.
+        """
+        if window_steps is None and step_range is None:
+            with self._cache_lock:
+                if self._combined is None:
+                    self._combined = self._build_combined(*self.scope())
+                return self._combined
+        return self._build_combined(*self.scope(window_steps, step_range))
+
+    def _build_combined(
+        self, partitions: Sequence[Partition], ss: StreamSummary
+    ) -> CombinedSummary:
+        summaries = [p.summary for p in partitions if len(p) > 0]
+        built = CombinedSummary.build(summaries, ss)
+        with self._cache_lock:
+            self._merges += 1
+        self._registry.note_ts_merge()
+        return built
+
+    @property
+    def ts_merges_built(self) -> int:
+        """TS merges this handle has performed (cache misses only)."""
+        with self._cache_lock:
+            return self._merges
+
+    # -- queries --------------------------------------------------------
+
+    def _quick_bound(self, total: int, m_scope: int) -> float:
+        hist_scope = max(0, total - m_scope)
+        return (
+            self.config.epsilon1 * hist_scope
+            + self.config.epsilon2 * m_scope
+        )
+
+    def query_rank(
+        self,
+        rank: int,
+        mode: str = "accurate",
+        window_steps: Optional[int] = None,
+        step_range: "Optional[tuple[int, int]]" = None,
+        cache: Optional[BlockCache] = None,
+    ) -> "QueryResult":
+        """Answer exactly as the engine would have at pin time."""
+        from .engine import QueryResult
+
+        if mode not in ("quick", "accurate"):
+            raise ValueError("mode must be 'quick' or 'accurate'")
+        if self.n_total == 0:
+            raise ValueError("snapshot is empty")
+        started = time.perf_counter()
+        partitions, ss = self.scope(window_steps, step_range)
+        combined = self.combined(window_steps, step_range)
+        rank = max(1, min(int(rank), combined.total_size))
+        quick_bound = self._quick_bound(
+            combined.total_size, ss.stream_size
+        )
+        degraded = False
+        if mode == "quick":
+            value = combined.quick_response(rank)
+            blocks = 0
+            estimated = float(rank)
+            iterations = 0
+            truncated = False
+            bound = quick_bound
+        else:
+            search = AccurateSearch(
+                partitions=partitions,
+                stream_summary=ss,
+                combined=combined,
+                config=self.config,
+                rank=rank,
+                stream_rank_fn=(
+                    self.stream_rank if step_range is None else None
+                ),
+                cache=cache,
+                executor=self._executor,
+            )
+            try:
+                outcome = search.run()
+            except DiskFault:
+                # Same degradation semantics as the live engine: fall
+                # back to the quick response, flag the result.
+                if not self.config.degrade_on_fault:
+                    raise
+                outcome = None
+                self._note_degraded()
+            if outcome is None:
+                degraded = True
+                value = combined.quick_response(rank)
+                blocks = 0
+                estimated = float(rank)
+                iterations = 0
+                truncated = True
+                bound = quick_bound
+            else:
+                value = outcome.value
+                blocks = outcome.random_blocks
+                estimated = outcome.estimated_rank
+                iterations = outcome.iterations
+                truncated = outcome.truncated
+                bound = self.config.query_epsilon * ss.stream_size
+        return QueryResult(
+            value=int(value),
+            target_rank=rank,
+            total_size=combined.total_size,
+            mode=mode,
+            estimated_rank=estimated,
+            disk_accesses=blocks,
+            iterations=iterations,
+            truncated=truncated,
+            wall_seconds=time.perf_counter() - started,
+            sim_seconds=blocks * self._disk.latency.seconds_per_random_block,
+            window_steps=window_steps,
+            query_workers=self._executor.workers,
+            degraded=degraded,
+            rank_error_bound=float(bound),
+        )
+
+    def _scope_total(
+        self,
+        window_steps: Optional[int],
+        step_range: "Optional[tuple[int, int]]",
+    ) -> int:
+        if step_range is not None:
+            partitions, _ = self.scope(step_range=step_range)
+            return sum(len(p) for p in partitions)
+        if window_steps is not None:
+            partitions, _ = self.scope(window_steps=window_steps)
+            return sum(len(p) for p in partitions) + self.m_stream
+        return self.n_total
+
+    def quantile(
+        self,
+        phi: float,
+        mode: str = "accurate",
+        window_steps: Optional[int] = None,
+        step_range: "Optional[tuple[int, int]]" = None,
+    ) -> "QueryResult":
+        """A ``phi``-quantile of the pinned union (Definition 1)."""
+        total = self._scope_total(window_steps, step_range)
+        return self.query_rank(
+            rank_for_phi(phi, total),
+            mode=mode,
+            window_steps=window_steps,
+            step_range=step_range,
+        )
+
+    def quantile_many(
+        self,
+        phis: Sequence[float],
+        mode: str = "quick",
+        window_steps: Optional[int] = None,
+    ) -> "List[QueryResult]":
+        """Answer many quantiles against this one pinned view.
+
+        Quick mode is the coalescer's workhorse: one (cached) TS merge,
+        then a single vectorized rank-bound pass answers every ``phi``.
+        Accurate mode shares the pinned view and one block cache across
+        the searches, like :meth:`HybridQuantileEngine.quantiles`.
+        """
+        from .engine import QueryResult
+
+        if mode not in ("quick", "accurate"):
+            raise ValueError("mode must be 'quick' or 'accurate'")
+        if self.n_total == 0:
+            raise ValueError("snapshot is empty")
+        if mode == "accurate":
+            cache = BlockCache(
+                self._disk, enabled=self.config.block_cache
+            )
+            return [
+                self.query_rank(
+                    rank_for_phi(
+                        phi, self._scope_total(window_steps, None)
+                    ),
+                    mode="accurate",
+                    window_steps=window_steps,
+                    cache=cache,
+                )
+                for phi in phis
+            ]
+        started = time.perf_counter()
+        _, ss = self.scope(window_steps)
+        combined = self.combined(window_steps)
+        total = combined.total_size
+        ranks = np.asarray(
+            [
+                max(1, min(rank_for_phi(phi, total), total))
+                for phi in phis
+            ],
+            dtype=np.int64,
+        )
+        values = combined.quick_responses(ranks)
+        bound = self._quick_bound(total, ss.stream_size)
+        wall = time.perf_counter() - started
+        return [
+            QueryResult(
+                value=int(value),
+                target_rank=int(rank),
+                total_size=total,
+                mode="quick",
+                estimated_rank=float(rank),
+                disk_accesses=0,
+                iterations=0,
+                truncated=False,
+                # the shared pass's wall time; attributing it to every
+                # result keeps per-result latency honest for coalesced
+                # batches (they all waited for the same merge).
+                wall_seconds=wall,
+                sim_seconds=0.0,
+                window_steps=window_steps,
+                query_workers=self._executor.workers,
+                rank_error_bound=float(bound),
+            )
+            for rank, value in zip(ranks, values)
+        ]

@@ -5,161 +5,88 @@ The paper's motivating systems (TidalRace, DataDepot) care about
 half of them computed before a batch load and half after (Golab &
 Johnson, "Consistency in a stream warehouse", is cited as [12]).
 
-:class:`EngineSnapshot` pins a query view at creation time: the
-partition list and a deep copy of the stream sketch.  Queries against
-the snapshot answer as of that instant, no matter how much the engine
-ingests or merges afterwards.  (In this simulation old partitions stay
-reachable through the snapshot's references; a file-backed deployment
-would pin them through manifest reference counts.)
+:class:`EngineSnapshot` pins a query view at creation time.  Since the
+epoch layer landed it is a thin wrapper over
+:meth:`~repro.core.engine.HybridQuantileEngine.pin` — one refcounted
+:class:`~repro.core.epoch.SnapshotHandle` holding the partition list,
+a copy-on-query snapshot of the stream sketch, and the epoch stamp.
+Queries against the snapshot answer as of that instant, no matter how
+much the engine ingests or merges afterwards.  (In this simulation old
+partitions stay reachable through the handle's references; a
+file-backed deployment would pin them through manifest reference
+counts, released when the epoch retires.)
 """
 
 from __future__ import annotations
 
-import time
 from typing import List, Sequence
 
-from ..faults.errors import DiskFault
-from ..sketches.base import rank_for_phi
-from ..sketches.gk import GKSketch
-from ..warehouse.partition import Partition
-from .bounds import CombinedSummary
 from .config import EngineConfig
 from .engine import HybridQuantileEngine, QueryResult
-from .filters import AccurateSearch
-from .summaries import StreamSummary
-
-
-def _copy_sketch(sketch: GKSketch) -> GKSketch:
-    copied = GKSketch(sketch.epsilon)
-    copied._values = list(sketch._values)
-    copied._g = list(sketch._g)
-    copied._delta = list(sketch._delta)
-    copied._n = sketch.n
-    return copied
+from .epoch import SnapshotHandle
 
 
 class EngineSnapshot:
-    """An immutable, consistent view of an engine's queryable state."""
+    """An immutable, consistent view of an engine's queryable state.
+
+    All queries are answered by the pinned handle, so several quantiles
+    read off one snapshot are consistent with one another — and with
+    any other snapshot pinned at the same epoch.  Call :meth:`close`
+    (or use as a context manager) to release the epoch pin; the
+    snapshot keeps answering afterwards.
+    """
 
     def __init__(self, engine: HybridQuantileEngine) -> None:
         self.config: EngineConfig = engine.config
-        self._disk = engine.disk
         # The engine's combined view — adopted partitions plus any
         # sealed-but-unmerged pending batches (staged on demand) — so a
         # snapshot taken mid-archive still covers the full union.
-        self._partitions: List[Partition] = list(
-            engine._queryable_partitions()
-        )
-        self._gk = _copy_sketch(engine._gk)
-        self._ss: StreamSummary = StreamSummary.extract(
-            self._gk, self.config.epsilon2
-        )
-        self.n_historical = sum(len(p) for p in self._partitions)
-        self.m_stream = self._gk.n
-        # Share the engine's executor (probe parallelism + fault
-        # retries) and report degradations back to its counters; a
-        # closed executor transparently runs inline, so a snapshot
-        # outliving its engine still answers.
-        self._executor = engine.query_executor
-        self._note_degraded = engine._note_degraded_query
+        self._handle: SnapshotHandle = engine.pin()
+        self.n_historical = self._handle.n_historical
+        self.m_stream = self._handle.m_stream
         # The snapshot covers everything sealed (including batches the
         # background archiver has not merged yet), so the step stamp is
         # the sealed step, not the archived one.
-        self.created_at_step = engine.steps_sealed
+        self.created_at_step = self._handle.created_at_step
+
+    @property
+    def epoch(self) -> int:
+        """The engine epoch this snapshot is pinned at."""
+        return self._handle.epoch
+
+    @property
+    def handle(self) -> SnapshotHandle:
+        """The underlying pinned handle (the serving layer's currency)."""
+        return self._handle
 
     @property
     def n_total(self) -> int:
         """Total number of elements N = n + m."""
-        return self.n_historical + self.m_stream
+        return self._handle.n_total
 
-    def _stream_rank(self, value: int) -> float:
-        if self._gk.n == 0:
-            return 0.0
-        lo, hi = self._gk.rank_bounds(int(value))
-        return (lo + hi) / 2.0
+    def close(self) -> None:
+        """Release the epoch pin (idempotent); queries keep working."""
+        self._handle.release()
+
+    def __enter__(self) -> "EngineSnapshot":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def query_rank(self, rank: int, mode: str = "accurate") -> QueryResult:
         """Answer exactly as the engine would have at snapshot time."""
-        if mode not in ("quick", "accurate"):
-            raise ValueError("mode must be 'quick' or 'accurate'")
-        if self.n_total == 0:
-            raise ValueError("snapshot is empty")
-        started = time.perf_counter()
-        summaries = [p.summary for p in self._partitions if len(p) > 0]
-        combined = CombinedSummary.build(summaries, self._ss)
-        rank = max(1, min(int(rank), combined.total_size))
-        hist_scope = max(0, combined.total_size - self._ss.stream_size)
-        quick_bound = (
-            self.config.epsilon1 * hist_scope
-            + self.config.epsilon2 * self._ss.stream_size
-        )
-        degraded = False
-        if mode == "quick":
-            value = combined.quick_response(rank)
-            blocks = 0
-            estimated = float(rank)
-            iterations = 0
-            truncated = False
-            bound = quick_bound
-        else:
-            search = AccurateSearch(
-                partitions=self._partitions,
-                stream_summary=self._ss,
-                combined=combined,
-                config=self.config,
-                rank=rank,
-                stream_rank_fn=self._stream_rank,
-                executor=self._executor,
-            )
-            try:
-                outcome = search.run()
-            except DiskFault:
-                # Same degradation semantics as the live engine: fall
-                # back to the quick response, flag the result.
-                if not self.config.degrade_on_fault:
-                    raise
-                outcome = None
-                self._note_degraded()
-            if outcome is None:
-                degraded = True
-                value = combined.quick_response(rank)
-                blocks = 0
-                estimated = float(rank)
-                iterations = 0
-                truncated = True
-                bound = quick_bound
-            else:
-                value = outcome.value
-                blocks = outcome.random_blocks
-                estimated = outcome.estimated_rank
-                iterations = outcome.iterations
-                truncated = outcome.truncated
-                bound = self.config.query_epsilon * self._ss.stream_size
-        return QueryResult(
-            value=int(value),
-            target_rank=rank,
-            total_size=combined.total_size,
-            mode=mode,
-            estimated_rank=estimated,
-            disk_accesses=blocks,
-            iterations=iterations,
-            truncated=truncated,
-            wall_seconds=time.perf_counter() - started,
-            sim_seconds=blocks * self._disk.latency.seconds_per_random_block,
-            query_workers=self._executor.workers,
-            degraded=degraded,
-            rank_error_bound=float(bound),
-        )
+        return self._handle.query_rank(rank, mode=mode)
 
     def quantile(self, phi: float, mode: str = "accurate") -> QueryResult:
         """Return an approximate ``phi``-quantile (Definition 1)."""
-        return self.query_rank(rank_for_phi(phi, self.n_total), mode=mode)
+        return self._handle.quantile(phi, mode=mode)
 
     def quantiles(
         self, phis: Sequence[float], mode: str = "accurate"
     ) -> List[QueryResult]:
         """Several quantiles, all consistent with one another."""
-        return [self.quantile(phi, mode=mode) for phi in phis]
+        return [self._handle.quantile(phi, mode=mode) for phi in phis]
 
 
 def snapshot(engine: HybridQuantileEngine) -> EngineSnapshot:

@@ -38,7 +38,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..faults.errors import DiskFault
 from ..faults.retry import RetryPolicy
@@ -133,6 +133,10 @@ class BackgroundArchiver:
         no retries (any fault is fatal), which is the pre-fault-model
         behaviour.  Engines pass
         :attr:`~repro.core.config.EngineConfig.archive_retry_policy`.
+    on_adopt:
+        Optional callback invoked with the adopted batch's step inside
+        the adopt critical section (layout lock held) — the engine uses
+        it to bump the query epoch in lockstep with the layout change.
     """
 
     def __init__(
@@ -140,14 +144,20 @@ class BackgroundArchiver:
         store: LeveledStore,
         max_pending: int = 4,
         retry: Optional[RetryPolicy] = None,
+        on_adopt: Optional[Callable[[int], None]] = None,
     ) -> None:
         if max_pending < 1:
             raise ValueError("max_pending must be >= 1")
         self._store = store
         self._max_pending = max_pending
         self._retry = retry if retry is not None else RetryPolicy()
+        self._on_adopt = on_adopt
         self._cond = threading.Condition(store.layout_lock)
         self._pending: List[PendingBatch] = []
+        # Queue slots claimed by reserve() but not yet filled by
+        # enqueue_reserved(); counted against the backpressure bound so
+        # a reserved seal can never overshoot max_pending.
+        self._reserved = 0
         self._records: List[ArchiveRecord] = []
         self._busy = False
         self._paused = False
@@ -171,16 +181,39 @@ class BackgroundArchiver:
         this returns (atomically with layout snapshots).  Blocks only
         when ``max_pending`` batches are already queued.
         """
+        blocked = self.reserve()
+        depth = self.enqueue_reserved(batch)
+        return blocked, depth
+
+    def reserve(self) -> float:
+        """Claim a queue slot, blocking under backpressure.
+
+        Split out of :meth:`submit` so the engine can absorb the
+        (potentially long) backpressure wait *before* entering its seal
+        critical section — pins and queries stay responsive while a
+        producer waits for queue space.  Returns the seconds blocked.
+        """
         started = time.perf_counter()
         with self._cond:
             self._raise_if_failed()
-            while len(self._pending) >= self._max_pending:
+            while len(self._pending) + self._reserved >= self._max_pending:
                 if self._shutdown:
                     raise RuntimeError("archiver is closed")
                 self._cond.wait()
                 self._raise_if_failed()
             if self._shutdown:
                 raise RuntimeError("archiver is closed")
+            self._reserved += 1
+        return time.perf_counter() - started
+
+    def enqueue_reserved(self, batch: PendingBatch) -> int:
+        """Fill a slot claimed by :meth:`reserve`; returns the depth.
+
+        Never blocks — the slot is already reserved — so it is safe to
+        call inside the engine's seal critical section.
+        """
+        with self._cond:
+            self._reserved -= 1
             self._pending.append(batch)
             depth = len(self._pending)
             self.stats.batches_enqueued += 1
@@ -188,7 +221,7 @@ class BackgroundArchiver:
                 self.stats.max_queue_depth, depth
             )
             self._cond.notify_all()
-        return time.perf_counter() - started, depth
+        return depth
 
     def pending_batches(self) -> List[PendingBatch]:
         """Snapshot of the sealed-but-unmerged batches, oldest first."""
@@ -332,6 +365,10 @@ class BackgroundArchiver:
                 self._store.adopt_partition(partition)
                 self._pending.pop(0)
                 depth_left = len(self._pending)
+                if self._on_adopt is not None:
+                    # Epoch bump rides the same critical section as the
+                    # splice, so pins see layout and epoch in lockstep.
+                    self._on_adopt(batch.step)
                 self._cond.notify_all()
             cpu["merge"] = time.perf_counter() - merge_started
         io = PhaseTally()

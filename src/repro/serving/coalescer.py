@@ -1,0 +1,68 @@
+"""The quick-path query coalescer: many requests, one TS merge.
+
+The quick response (Algorithm 5) is a binary search over the combined
+summary TS — but *building* TS (merging every partition summary with
+the stream summary and computing rank bounds) dominates its cost.  Two
+requests pinned at the same epoch see the identical TS, so the merge is
+shareable: the coalescer batches every quick request that arrived
+within a window, pins **one**
+:class:`~repro.core.epoch.SnapshotHandle`, and answers the whole batch
+with one cached merge plus a single vectorized rank-bound pass
+(:meth:`~repro.core.bounds.CombinedSummary.quick_responses`).  This is
+the data-fusion insight (PAPERS.md: quantile trackers shared across
+streams) applied to our read path: merges per request drop below one,
+which is the serving benchmark's headline number.
+
+Duplicate phis inside a batch are answered once and fanned out, so a
+thundering herd of dashboards refreshing the same p99 costs one
+answer.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.engine import HybridQuantileEngine
+    from .metrics import ServiceMetrics
+    from .service import PendingQuery
+
+
+def answer_quick_batch(
+    engine: "HybridQuantileEngine",
+    batch: "List[PendingQuery]",
+    metrics: "ServiceMetrics",
+) -> None:
+    """Answer a coalesced batch of quick requests against one pin.
+
+    Requests are grouped by window scope (different windows need
+    different merges), deduplicated by phi within each group, and every
+    request is fulfilled — or failed with the batch's exception, so no
+    waiter hangs.
+    """
+    try:
+        with engine.pin() as handle:
+            merges_before = handle.ts_merges_built
+            groups: "Dict[object, List[PendingQuery]]" = {}
+            for request in batch:
+                groups.setdefault(request.window_steps, []).append(request)
+            for window_steps, requests in groups.items():
+                phis = list(dict.fromkeys(r.phi for r in requests))
+                results = handle.quantile_many(
+                    phis, mode="quick", window_steps=window_steps
+                )
+                table = dict(zip(phis, results))
+                for request in requests:
+                    request._fulfill(table[request.phi], handle.epoch)
+            merges = handle.ts_merges_built - merges_before
+    except BaseException as exc:
+        for request in batch:
+            if not request.done:
+                request._fail(exc)
+        raise
+    metrics.note_batch(len(batch), merges)
+
+
+def dedupe_key(request: "PendingQuery") -> Tuple[float, object]:
+    """Requests with equal keys may share one answer."""
+    return (request.phi, request.window_steps)

@@ -1,0 +1,176 @@
+"""Service metrics: the serving layer measured with its own medicine.
+
+Per-mode latency histograms are :class:`~repro.sketches.gk.GKSketch`
+summaries over microsecond latencies — the very sketch the paper runs
+on the live stream, here eating its own dogfood (the introduction's
+motivating use case *is* latency percentile monitoring).  Sketches are
+snapshotted copy-on-query, so reading p99 never blocks or corrupts a
+concurrent recording thread.
+
+A :class:`MetricsSnapshot` is a plain frozen dataclass, deliberately
+free of any serving-layer references, so
+:mod:`repro.core.monitoring`'s service rules can evaluate it without
+importing this package.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..sketches.base import rank_for_phi
+from ..sketches.gk import GKSketch
+
+_MODES = ("quick", "accurate")
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Request-latency percentiles of one mode, in seconds."""
+
+    count: int
+    p50: float
+    p95: float
+    p99: float
+
+    @classmethod
+    def empty(cls) -> "LatencySummary":
+        return cls(count=0, p50=0.0, p95=0.0, p99=0.0)
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """One consistent reading of a service's counters.
+
+    ``coalescing_ratio`` is TS merges per served quick request — the
+    tentpole number: strictly below 1.0 means requests shared merges.
+    """
+
+    served: Dict[str, int]
+    rejected: Dict[str, int]
+    degraded_to_quick: int
+    queue_depth: int
+    peak_queue_depth: int
+    coalesced_batches: int
+    coalesced_requests: int
+    max_batch: int
+    ts_merges: int
+    deduped_probes: int
+    latency: Dict[str, LatencySummary] = field(default_factory=dict)
+
+    @property
+    def requests_served(self) -> int:
+        """Total requests answered across modes."""
+        return sum(self.served.values())
+
+    @property
+    def rejections(self) -> int:
+        """Total requests rejected with ``Overloaded``."""
+        return sum(self.rejected.values())
+
+    @property
+    def coalescing_ratio(self) -> float:
+        """TS merges per served quick request (< 1.0 = sharing wins)."""
+        quick = self.served.get("quick", 0)
+        if quick == 0:
+            return 1.0
+        return self.ts_merges / quick
+
+    def p99(self, mode: str = "quick") -> float:
+        """p99 latency of one mode in seconds (0.0 before any request)."""
+        summary = self.latency.get(mode)
+        return summary.p99 if summary is not None else 0.0
+
+
+class ServiceMetrics:
+    """Thread-safe counters and latency sketches for one service."""
+
+    def __init__(self, epsilon: float = 0.01) -> None:
+        self._lock = threading.Lock()
+        self._latency = {mode: GKSketch(epsilon) for mode in _MODES}
+        self._served = {mode: 0 for mode in _MODES}
+        self._degraded_to_quick = 0
+        self._peak_queue_depth = 0
+        self._coalesced_batches = 0
+        self._coalesced_requests = 0
+        self._max_batch = 0
+        self._ts_merges = 0
+        self._deduped_probes = 0
+
+    def record(self, mode: str, latency_seconds: float) -> None:
+        """Count one served request and record its latency."""
+        micros = max(0, int(latency_seconds * 1e6))
+        with self._lock:
+            self._served[mode] += 1
+        # GK has its own mutation lock; keeping it outside ours avoids
+        # holding two locks at once.
+        self._latency[mode].update(micros)
+
+    def note_degraded(self) -> None:
+        """Count one accurate request degraded to quick under load."""
+        with self._lock:
+            self._degraded_to_quick += 1
+
+    def note_batch(self, requests: int, merges: int) -> None:
+        """Count one coalesced quick batch and the merges it spent."""
+        with self._lock:
+            self._coalesced_batches += 1
+            self._coalesced_requests += requests
+            self._max_batch = max(self._max_batch, requests)
+            self._ts_merges += merges
+
+    def note_merges(self, merges: int) -> None:
+        """Count TS merges spent outside a coalesced batch."""
+        with self._lock:
+            self._ts_merges += merges
+
+    def note_dedup(self, shared: int) -> None:
+        """Count accurate probes answered by another request's search."""
+        with self._lock:
+            self._deduped_probes += shared
+
+    def observe_queue_depth(self, depth: int) -> None:
+        """Track the queue-depth high-water mark."""
+        with self._lock:
+            self._peak_queue_depth = max(self._peak_queue_depth, depth)
+
+    def _latency_summary(self, mode: str) -> LatencySummary:
+        sketch = self._latency[mode].snapshot()
+        if sketch.n == 0:
+            return LatencySummary.empty()
+
+        def pct(phi: float) -> float:
+            return sketch.query_rank(rank_for_phi(phi, sketch.n)) / 1e6
+
+        return LatencySummary(
+            count=sketch.n, p50=pct(0.50), p95=pct(0.95), p99=pct(0.99)
+        )
+
+    def snapshot(
+        self,
+        queue_depth: int = 0,
+        rejected: Optional[Dict[str, int]] = None,
+    ) -> MetricsSnapshot:
+        """Assemble one consistent :class:`MetricsSnapshot`.
+
+        ``queue_depth`` and ``rejected`` live with the admission
+        controller; the service passes them in.
+        """
+        # Latency summaries read sketch snapshots outside the counter
+        # lock (each sketch copy-on-queries under its own lock).
+        latency = {mode: self._latency_summary(mode) for mode in _MODES}
+        with self._lock:
+            return MetricsSnapshot(
+                served=dict(self._served),
+                rejected=dict(rejected or {}),
+                degraded_to_quick=self._degraded_to_quick,
+                queue_depth=queue_depth,
+                peak_queue_depth=max(self._peak_queue_depth, queue_depth),
+                coalesced_batches=self._coalesced_batches,
+                coalesced_requests=self._coalesced_requests,
+                max_batch=self._max_batch,
+                ts_merges=self._ts_merges,
+                deduped_probes=self._deduped_probes,
+                latency=latency,
+            )

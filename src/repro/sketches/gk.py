@@ -23,6 +23,7 @@ being orders of magnitude faster for the simulator's large batches.
 from __future__ import annotations
 
 import math
+import threading
 from bisect import bisect_right
 from typing import Iterable, List, Tuple
 
@@ -53,6 +54,11 @@ class GKSketch(QuantileSketch):
         self._n = 0
         self._compress_every = max(1, int(1.0 / (2.0 * epsilon)))
         self._since_compress = 0
+        # Serializes mutations against snapshot(): an updating thread
+        # and a snapshotting thread never observe half-applied tuple
+        # lists.  Reentrant because update_batch calls _compress while
+        # already holding it.
+        self._mutate_lock = threading.RLock()
         # Cached (values, rmin, rmax) arrays for the vectorized query
         # path; rebuilt lazily after any mutation.
         self._query_arrays: "Tuple[np.ndarray, np.ndarray, np.ndarray] | None" = None
@@ -69,20 +75,23 @@ class GKSketch(QuantileSketch):
     def update(self, value: int) -> None:
         """Process one stream element."""
         value = int(value)
-        pos = bisect_right(self._values, value)
-        if pos == 0 or pos == len(self._values):
-            delta = 0
-        else:
-            delta = max(0, math.floor(2.0 * self.epsilon * self._n) - 1)
-        self._values.insert(pos, value)
-        self._g.insert(pos, 1)
-        self._delta.insert(pos, delta)
-        self._n += 1
-        self._query_arrays = None
-        self._since_compress += 1
-        if self._since_compress >= self._compress_every:
-            self._compress()
-            self._since_compress = 0
+        with self._mutate_lock:
+            pos = bisect_right(self._values, value)
+            if pos == 0 or pos == len(self._values):
+                delta = 0
+            else:
+                delta = max(
+                    0, math.floor(2.0 * self.epsilon * self._n) - 1
+                )
+            self._values.insert(pos, value)
+            self._g.insert(pos, 1)
+            self._delta.insert(pos, delta)
+            self._n += 1
+            self._query_arrays = None
+            self._since_compress += 1
+            if self._since_compress >= self._compress_every:
+                self._compress()
+                self._since_compress = 0
 
     def update_batch(self, values: Iterable[int]) -> None:
         """Merge a batch of elements.
@@ -99,20 +108,22 @@ class GKSketch(QuantileSketch):
         if arr.size == 0:
             return
         if arr.size < _BATCH_THRESHOLD:
-            for value in arr:
-                self.update(int(value))
+            with self._mutate_lock:
+                for value in arr:
+                    self.update(int(value))
             return
         batch = np.sort(arr)
-        if self._n == 0:
-            merged_vals = batch
-            rmin = np.arange(1, batch.size + 1, dtype=np.int64)
-            rmax = rmin.copy()
-        else:
-            merged_vals, rmin, rmax = self._merge_exact_batch(batch)
-        self._n += int(batch.size)
-        self._load_from_bounds(merged_vals, rmin, rmax)
-        self._compress()
-        self._since_compress = 0
+        with self._mutate_lock:
+            if self._n == 0:
+                merged_vals = batch
+                rmin = np.arange(1, batch.size + 1, dtype=np.int64)
+                rmax = rmin.copy()
+            else:
+                merged_vals, rmin, rmax = self._merge_exact_batch(batch)
+            self._n += int(batch.size)
+            self._load_from_bounds(merged_vals, rmin, rmax)
+            self._compress()
+            self._since_compress = 0
 
     def _merge_exact_batch(
         self, batch: np.ndarray
@@ -253,6 +264,25 @@ class GKSketch(QuantileSketch):
         if first >= len(values):
             return (lower, self._n)
         return (lower, max(lower, int(rmax[first]) - 1))
+
+    def snapshot(self) -> "GKSketch":
+        """A consistent copy, safe to take while another thread updates.
+
+        Copy-on-query: the tuple lists are copied under the mutation
+        lock, so the returned sketch is a frozen-in-time view that can
+        be queried (or summarized) freely while the original keeps
+        ingesting.  This is the sanctioned way to read a sketch that is
+        concurrently written — the plain query methods assume a
+        quiescent sketch.
+        """
+        copied = GKSketch(self.epsilon)
+        with self._mutate_lock:
+            copied._values = list(self._values)
+            copied._g = list(self._g)
+            copied._delta = list(self._delta)
+            copied._n = self._n
+            copied._since_compress = self._since_compress
+        return copied
 
     def min_value(self) -> int:
         """Exact minimum of the stream so far."""

@@ -1,0 +1,244 @@
+"""QueryService end-to-end: dispatch, overload, dedup, monitoring."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core import QuantileWatcher, ServingConfig
+from repro.serving import Overloaded, QueryService
+
+
+def wait_until(predicate, timeout=5.0):
+    deadline = time.perf_counter() + timeout
+    while time.perf_counter() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.002)
+    return False
+
+
+class TestDispatch:
+    def test_quick_matches_direct_engine_answer(self, filled_engine):
+        with QueryService(filled_engine) as service:
+            for phi in (0.25, 0.5, 0.99):
+                served = service.quantile(phi, timeout=5.0)
+                direct = filled_engine.quantile(phi, mode="quick")
+                assert served.value == direct.value
+                assert served.mode == "quick"
+
+    def test_accurate_matches_direct_engine_answer(self, filled_engine):
+        with QueryService(filled_engine) as service:
+            served = service.quantile(0.5, mode="accurate", timeout=10.0)
+            direct = filled_engine.quantile(0.5, mode="accurate")
+            assert served.value == direct.value
+            assert served.mode == "accurate"
+
+    def test_window_scope_routed_through(self, filled_engine):
+        with QueryService(filled_engine) as service:
+            served = service.quantile(0.5, window_steps=1, timeout=5.0)
+            direct = filled_engine.quantile(
+                0.5, mode="quick", window_steps=1
+            )
+            assert served.value == direct.value
+
+    def test_paused_submissions_coalesce_into_one_batch(
+        self, filled_engine
+    ):
+        with QueryService(filled_engine) as service:
+            service.pause()
+            requests = [
+                service.submit(phi)
+                for phi in (0.25, 0.5, 0.75, 0.95, 0.99)
+            ]
+            assert service.queue_depth == 5
+            service.resume()
+            for request in requests:
+                request.result(timeout=5.0)
+            snapshot = service.metrics_snapshot()
+            assert snapshot.served["quick"] == 5
+            assert snapshot.max_batch == 5
+            assert snapshot.ts_merges == 1
+            assert snapshot.coalescing_ratio < 1.0
+            # One pinned epoch served the whole batch.
+            assert len({r.epoch for r in requests}) == 1
+
+    def test_coalescing_disabled_pays_per_request(self, filled_engine):
+        config = ServingConfig(coalesce=False)
+        with QueryService(filled_engine, config) as service:
+            service.pause()
+            requests = [service.submit(0.5) for _ in range(4)]
+            service.resume()
+            for request in requests:
+                request.result(timeout=5.0)
+            snapshot = service.metrics_snapshot()
+            assert snapshot.served["quick"] == 4
+            assert snapshot.ts_merges >= 4
+
+    def test_duplicate_accurate_probes_share_one_search(
+        self, filled_engine
+    ):
+        config = ServingConfig(accurate_workers=1)
+        with QueryService(filled_engine, config) as service:
+            service.pause()
+            requests = [
+                service.submit(0.95, mode="accurate") for _ in range(4)
+            ]
+            service.resume()
+            values = {r.result(timeout=10.0).value for r in requests}
+            assert len(values) == 1
+            snapshot = service.metrics_snapshot()
+            assert snapshot.served["accurate"] == 4
+            assert snapshot.deduped_probes == 3
+
+    def test_close_serves_the_backlog_first(self, filled_engine):
+        service = QueryService(filled_engine)
+        service.pause()
+        requests = [service.submit(0.5) for _ in range(3)]
+        service.close()
+        for request in requests:
+            assert request.result(timeout=5.0).value is not None
+        assert service.queue_depth == 0
+
+    def test_drain_blocks_until_empty(self, filled_engine):
+        with QueryService(filled_engine) as service:
+            requests = [service.submit(0.5) for _ in range(8)]
+            service.drain()
+            assert service.queue_depth == 0
+            # Drain empties the queues; the in-flight batch resolves
+            # promptly afterwards.
+            for request in requests:
+                request.result(timeout=5.0)
+
+    def test_drain_refuses_while_paused(self, filled_engine):
+        with QueryService(filled_engine) as service:
+            service.pause()
+            service.submit(0.5)
+            with pytest.raises(RuntimeError):
+                service.drain()
+            service.resume()
+            service.drain()
+
+
+class TestValidationAndShutdown:
+    def test_submit_after_close_raises(self, filled_engine):
+        service = QueryService(filled_engine)
+        service.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            service.submit(0.5)
+
+    def test_invalid_arguments(self, filled_engine):
+        with QueryService(filled_engine) as service:
+            with pytest.raises(ValueError):
+                service.submit(0.5, mode="fast")
+            with pytest.raises(ValueError):
+                service.submit(0.0)
+            with pytest.raises(ValueError):
+                service.submit(1.5)
+
+    def test_result_timeout(self, filled_engine):
+        with QueryService(filled_engine) as service:
+            service.pause()
+            request = service.submit(0.5)
+            with pytest.raises(TimeoutError):
+                request.result(timeout=0.01)
+            service.resume()
+            request.result(timeout=5.0)
+
+
+class TestOverload:
+    def test_full_queue_rejects_with_typed_error(self, filled_engine):
+        config = ServingConfig(
+            max_queue=8, accurate_queue=1, accurate_workers=1
+        )
+        with QueryService(filled_engine, config) as service:
+            service.pause()
+            admitted = service.submit(0.5, mode="accurate")
+            with pytest.raises(Overloaded) as info:
+                service.submit(0.5, mode="accurate")
+            assert info.value.mode == "accurate"
+            assert info.value.bound == 1
+            snapshot = service.metrics_snapshot()
+            assert snapshot.rejections == 1
+            assert snapshot.rejected["accurate"] == 1
+            service.resume()
+            admitted.result(timeout=10.0)
+
+    def test_degrade_on_overload_serves_quick_instead(
+        self, filled_engine
+    ):
+        config = ServingConfig(
+            max_queue=8,
+            accurate_queue=1,
+            accurate_workers=1,
+            degrade_on_overload=True,
+        )
+        with QueryService(filled_engine, config) as service:
+            service.pause()
+            first = service.submit(0.5, mode="accurate")
+            second = service.submit(0.5, mode="accurate")
+            assert not first.degraded_by_overload
+            assert second.degraded_by_overload
+            assert second.effective_mode == "quick"
+            service.resume()
+            assert first.result(timeout=10.0).mode == "accurate"
+            assert second.result(timeout=10.0).mode == "quick"
+            snapshot = service.metrics_snapshot()
+            assert snapshot.degraded_to_quick == 1
+            assert snapshot.rejections == 0
+
+
+class TestMonitoringIntegration:
+    def test_watch_service_fires_on_queue_depth(self, filled_engine):
+        with QueryService(filled_engine) as service:
+            watcher = QuantileWatcher(filled_engine)
+            rule = watcher.watch_service(
+                "svc-depth",
+                service.metrics_snapshot,
+                max_queue_depth=0,
+            )
+            assert watcher.service_rules == [rule]
+            assert watcher.check_service() == []
+            service.pause()
+            service.submit(0.5)
+            service.submit(0.75)
+            alerts = watcher.check_service()
+            assert len(alerts) == 1
+            assert alerts[0].breaches == ("queue_depth",)
+            assert alerts[0].queue_depth == 2
+            service.resume()
+            service.drain()
+            assert wait_until(lambda: not watcher.check_service())
+
+    def test_watch_service_fires_on_rejections(self, filled_engine):
+        config = ServingConfig(max_queue=1)
+        with QueryService(filled_engine, config) as service:
+            watcher = QuantileWatcher(filled_engine)
+            watcher.watch_service(
+                "svc-rejects",
+                service.metrics_snapshot,
+                max_rejections=0,
+            )
+            service.pause()
+            service.submit(0.5)
+            with pytest.raises(Overloaded):
+                service.submit(0.5)
+            alerts = watcher.check_service()
+            assert [a.breaches for a in alerts] == [("rejections",)]
+            watcher.remove("svc-rejects")
+            assert watcher.check_service() == []
+            service.resume()
+
+    def test_duplicate_monitor_names_rejected(self, filled_engine):
+        with QueryService(filled_engine) as service:
+            watcher = QuantileWatcher(filled_engine)
+            watcher.watch_service(
+                "svc", service.metrics_snapshot, max_queue_depth=10
+            )
+            with pytest.raises(ValueError):
+                watcher.watch_service(
+                    "svc", service.metrics_snapshot, max_queue_depth=10
+                )
+            with pytest.raises(ValueError):
+                watcher.watch_health("svc", max_disk_faults=1)

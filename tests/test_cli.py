@@ -122,3 +122,56 @@ class TestDemo:
         assert code == 0
         assert "phi=0.5" in out
         assert "memory:" in out
+
+
+class TestMultiPhiQuery:
+    @pytest.fixture
+    def warehouse(self, tmp_path, capsys):
+        path = tmp_path / "wh"
+        run(capsys, "init", str(path), "--epsilon", "0.02",
+            "--kappa", "3", "--block-elems", "16")
+        source = tmp_path / "batch.npy"
+        np.save(source, np.arange(1, 2001, dtype=np.int64))
+        run(capsys, "ingest", str(path), str(source), "--archive")
+        return path
+
+    def test_one_row_per_phi_in_order(self, warehouse, capsys):
+        code, out, _ = run(capsys, "query", str(warehouse),
+                           "--phi", "0.25", "0.5", "0.75",
+                           "--mode", "quick")
+        assert code == 0
+        rows = out.strip().splitlines()[1:]
+        assert len(rows) == 3
+        phis = [float(row.split()[0]) for row in rows]
+        assert phis == [0.25, 0.5, 0.75]
+        values = [int(row.split()[1].replace(",", "")) for row in rows]
+        assert values == sorted(values)
+        for phi, value in zip(phis, values):
+            assert abs(value - phi * 2000) <= 0.02 * 2000 + 2
+
+    def test_multi_phi_accurate_mode(self, warehouse, capsys):
+        code, out, _ = run(capsys, "query", str(warehouse),
+                           "--phi", "0.5", "0.99")
+        assert code == 0
+        assert len(out.strip().splitlines()) == 3
+
+
+class TestServeBench:
+    def test_small_sweep_writes_json(self, tmp_path, capsys):
+        output = tmp_path / "serve.json"
+        code, out, _ = run(capsys, "serve-bench",
+                           "--steps", "2", "--batch", "2000",
+                           "--clients", "1", "4",
+                           "--requests", "3", "--output", str(output))
+        assert code == 0
+        assert "serve-bench" in out
+        assert "overload[reject]" in out
+        assert "overload[degrade]" in out
+        assert "MISMATCH" not in out
+        import json
+        doc = json.loads(output.read_text())
+        assert doc["benchmark"] == "serving_ablation"
+        assert {row["clients"] for row in doc["closed_loop"]} == {1, 4}
+        for row in doc["closed_loop"]:
+            assert row["bit_identical"]
+            assert row["served"] + row["rejected"] == row["requests"]
