@@ -1,0 +1,80 @@
+"""Update-cost timing guard for the GK sketch (no pytest-benchmark).
+
+The shared-cache PR micro-optimized ``GKSketch.update``/``_compress``
+(scratch-list reuse instead of rebuilding the tuple lists every
+compression).  This guard keeps that win from silently regressing: it
+times a fixed seeded update workload with plain ``time.perf_counter``
+— deliberately not the ``benchmark`` fixture, so it runs even where
+pytest-benchmark is unavailable — and asserts a throughput floor set
+roughly an order of magnitude below what the current implementation
+measures (~680k updates/s on the reference container), so only a
+genuine algorithmic regression trips it, never scheduler noise.
+"""
+
+import time
+
+import numpy as np
+
+from repro.sketches.gk import GKSketch
+
+UPDATES = 200_000
+EPSILON = 0.01
+#: updates/second floor — ~11x below the measured implementation.
+FLOOR = 60_000.0
+ROUNDS = 3
+
+
+def measure_update_seconds() -> float:
+    """Best-of-N wall time for the seeded update workload."""
+    values = (
+        np.random.default_rng(5)
+        .integers(0, 1_000_000, UPDATES, dtype=np.int64)
+        .tolist()
+    )
+    best = float("inf")
+    for _ in range(ROUNDS):
+        sketch = GKSketch(EPSILON)
+        start = time.perf_counter()
+        for value in values:
+            sketch.update(value)
+        best = min(best, time.perf_counter() - start)
+        assert sketch.n == UPDATES
+    return best
+
+
+def test_update_throughput_floor():
+    seconds = measure_update_seconds()
+    throughput = UPDATES / seconds
+    print(
+        f"\nGK update: {UPDATES:,} updates in {seconds:.3f}s "
+        f"({throughput:,.0f} updates/s; floor {FLOOR:,.0f})"
+    )
+    assert throughput >= FLOOR, (
+        f"GK update throughput regressed: {throughput:,.0f} updates/s "
+        f"is below the {FLOOR:,.0f} floor"
+    )
+
+
+def test_compress_reuses_scratch_lists():
+    """The compression scratch swap keeps steady-state allocation flat."""
+    sketch = GKSketch(EPSILON)
+    values = (
+        np.random.default_rng(9)
+        .integers(0, 1_000_000, 50_000, dtype=np.int64)
+        .tolist()
+    )
+    for value in values[:25_000]:
+        sketch.update(value)
+    # After warm-up, the live and scratch triples just swap roles:
+    # the same six list objects cycle forever.
+    ids_before = {
+        id(sketch._values), id(sketch._g), id(sketch._delta),
+        *(id(lst) for lst in sketch._scratch),
+    }
+    for value in values[25_000:]:
+        sketch.update(value)
+    ids_after = {
+        id(sketch._values), id(sketch._g), id(sketch._delta),
+        *(id(lst) for lst in sketch._scratch),
+    }
+    assert ids_after == ids_before

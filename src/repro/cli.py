@@ -9,6 +9,7 @@ Operates a persistent engine checkpoint directory::
     python -m repro query  /tmp/wh --phi 0.5 --window 7
     python -m repro status /tmp/wh
     python -m repro fsck   /tmp/wh --repair            # verify checkpoint
+    python -m repro cache-stats /tmp/wh --warm         # shared-cache counters
     python -m repro demo --steps 20                    # self-contained tour
 
 ``ingest`` accepts ``.npy`` files, whitespace/newline-separated text
@@ -74,6 +75,8 @@ def _cmd_init(args: argparse.Namespace) -> int:
         block_elems=args.block_elems,
         query_workers=args.query_workers,
         ingest_mode=args.ingest_mode,
+        shared_cache_blocks=args.shared_cache_blocks,
+        prefetch_blocks=args.prefetch_blocks,
     )
     engine = HybridQuantileEngine(config=config)
     save_engine(engine, directory)
@@ -214,10 +217,38 @@ def _cmd_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    engine = load_engine(args.warehouse)
+    cache = engine.shared_cache
+    if cache is None:
+        print("shared cache     : disabled "
+              "(re-init with --shared-cache-blocks N to enable)")
+        return 0
+    if args.warm:
+        if engine.n_total == 0:
+            print("error: warehouse is empty", file=sys.stderr)
+            return 1
+        charged = engine.warm_shared_cache(args.phi)
+        print(f"warm pass        : {charged} blocks charged "
+              f"for phis {args.phi}")
+    stats = cache.stats()
+    print(f"capacity blocks  : {stats.capacity_blocks:,}")
+    print(f"resident blocks  : {stats.resident_blocks:,}")
+    print(f"lookups          : {stats.lookups:,} "
+          f"({stats.hits:,} hits, {stats.misses:,} misses, "
+          f"hit rate {stats.hit_rate:.3f})")
+    print(f"evictions        : {stats.evictions:,}")
+    print(f"invalidated      : {stats.invalidated_blocks:,} blocks over "
+          f"{stats.invalidated_runs:,} retired runs")
+    print(f"prefetch width   : {engine.config.prefetch_blocks} blocks/run")
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     config = EngineConfig(
         epsilon=args.epsilon, kappa=args.kappa, block_elems=100,
         query_workers=args.query_workers, ingest_mode=args.ingest_mode,
+        shared_cache_blocks=args.shared_cache_blocks,
     )
     plan = _fault_plan_of(args)
     disk: Optional[SimulatedDisk] = None
@@ -243,6 +274,11 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     memory = engine.memory_report()
     print(f"memory: {memory.total_words:,} words over "
           f"{engine.n_total:,} elements")
+    if engine.shared_cache is not None:
+        cache = engine.shared_cache.stats()
+        print(f"shared cache: {cache.hits}/{cache.lookups} hits "
+              f"({cache.resident_blocks}/{cache.capacity_blocks} blocks "
+              f"resident, {cache.evictions} evictions)")
     stats = engine.ingest_stats
     if stats is not None:
         print(f"ingest: stalled {stats.stall_seconds * 1e3:.1f} ms over "
@@ -318,6 +354,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="archive batches synchronously (default) or on a "
              "background thread that overlaps with updates and queries",
     )
+    init.add_argument(
+        "--shared-cache-blocks", type=int, default=0,
+        help="capacity of the process-wide shared block cache "
+             "(default 0: disabled, per-query accounting only)",
+    )
+    init.add_argument(
+        "--prefetch-blocks", type=int, default=4,
+        help="max contiguous blocks the accurate path prefetches per "
+             "run once its filters narrow (needs a shared cache)",
+    )
     init.add_argument("--force", action="store_true")
     init.set_defaults(handler=_cmd_init)
 
@@ -384,8 +430,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--ingest-mode", choices=("sync", "background"), default="sync",
         help="archive batches synchronously (default) or in the background",
     )
+    demo.add_argument(
+        "--shared-cache-blocks", type=int, default=0,
+        help="capacity of the process-wide shared block cache "
+             "(default 0: disabled)",
+    )
     add_fault_options(demo)
     demo.set_defaults(handler=_cmd_demo)
+
+    cache_stats = commands.add_parser(
+        "cache-stats",
+        help="show the shared block-cache counters of a warehouse",
+    )
+    cache_stats.add_argument("warehouse")
+    cache_stats.add_argument(
+        "--warm", action="store_true",
+        help="run one warming pass for --phi before reading the stats",
+    )
+    cache_stats.add_argument(
+        "--phi", type=float, nargs="+", default=[0.5, 0.95, 0.99],
+        help="phis the --warm pass prefetches block ranges for",
+    )
+    cache_stats.set_defaults(handler=_cmd_cache_stats)
 
     serve = commands.add_parser(
         "serve-bench",

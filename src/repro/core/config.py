@@ -96,6 +96,21 @@ class EngineConfig:
         the in-memory summaries instead (quick response, widened error
         bound, ``QueryResult.degraded = True``) rather than raising the
         fault to the caller.
+    shared_cache_blocks:
+        Capacity (in blocks) of the process-wide shared block cache
+        (:mod:`repro.storage.shared_cache`) that per-query caches read
+        through.  The default of 0 disables the shared tier entirely —
+        every query pays the paper's per-query accounting exactly, the
+        historical behavior.  With a positive budget, a block already
+        resident from an earlier query (or a prefetch) is free; only
+        shared-tier misses are charged.
+    prefetch_blocks:
+        Accurate-path prefetch threshold: once the filter ``(u, v)``
+        narrows a partition's candidate range to at most this many
+        blocks, the executor reads the whole range ahead of the binary
+        search in one batched ranged read.  Only active when the shared
+        tier is attached (``shared_cache_blocks > 0``), so legacy
+        accounting is untouched when the cache is off.
     """
 
     epsilon: float
@@ -117,6 +132,8 @@ class EngineConfig:
     retry_backoff_seconds: float = 0.002
     retry_backoff_cap_seconds: float = 0.25
     degrade_on_fault: bool = True
+    shared_cache_blocks: int = 0
+    prefetch_blocks: int = 4
 
     def __post_init__(self) -> None:
         if not 0 < self.epsilon < 1:
@@ -150,6 +167,10 @@ class EngineConfig:
             raise ValueError("retry_backoff_seconds must be >= 0")
         if self.retry_backoff_cap_seconds < 0:
             raise ValueError("retry_backoff_cap_seconds must be >= 0")
+        if self.shared_cache_blocks < 0:
+            raise ValueError("shared_cache_blocks must be >= 0")
+        if self.prefetch_blocks < 0:
+            raise ValueError("prefetch_blocks must be >= 0")
 
     @property
     def epsilon1(self) -> float:

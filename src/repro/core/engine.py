@@ -55,6 +55,7 @@ from ..sketches.base import rank_for_phi
 from ..sketches.gk import GKSketch
 from ..storage.cache import BlockCache
 from ..storage.disk import SimulatedDisk
+from ..storage.shared_cache import SharedBlockCache
 from ..warehouse.compaction import LeveledCompactionStore
 from ..warehouse.leveled_store import LeveledStore, window_sizes_from
 from ..warehouse.partition import Partition
@@ -216,6 +217,18 @@ class HybridQuantileEngine:
             kappa=config.kappa,
             summary_builder=self._build_partition_summary,
         )
+        # Process-wide shared block cache (the cross-query tier).  0
+        # blocks means no tier: every query pays the paper's per-query
+        # accounting exactly — the historical code path, bit for bit.
+        self.shared_cache: Optional[SharedBlockCache] = (
+            SharedBlockCache(config.shared_cache_blocks)
+            if config.shared_cache_blocks > 0
+            else None
+        )
+        # Compaction merges retire runs inside the store's layout-lock
+        # critical sections; invalidate their cached blocks in the same
+        # sections so residency never outlives a run.
+        self.store.on_retire = self._on_runs_retired
         self._gk = self._fresh_stream_sketch()
         self._buffer = AppendBuffer()
         self._m = 0
@@ -248,6 +261,26 @@ class HybridQuantileEngine:
         # GK runs at eps2/2 so the extracted summary meets Lemma 1's
         # one-sided guarantee (see StreamSummary.extract).
         return GKSketch(self.config.epsilon2 / 2.0)
+
+    def _on_runs_retired(self, run_ids: "Sequence[int]") -> None:
+        """Invalidate retired runs' blocks (store ``on_retire`` hook).
+
+        Runs inside the layout-lock critical section that removed the
+        runs from the layout — the same section adoption's epoch bump
+        uses — so a pinned handle either sees the pre-merge layout with
+        residency intact or the post-merge layout with it gone, never a
+        stale mix.
+        """
+        if self.shared_cache is not None:
+            self.shared_cache.invalidate_runs(run_ids)
+
+    def _new_block_cache(self) -> BlockCache:
+        """A per-query cache reading through the shared tier (if any)."""
+        return BlockCache(
+            self.disk,
+            enabled=self.config.block_cache,
+            shared=self.shared_cache,
+        )
 
     def _build_partition_summary(self, partition: Partition) -> PartitionSummary:
         # Aggregates ride along with the summary: both are computed
@@ -601,12 +634,48 @@ class HybridQuantileEngine:
             executor=self._query_executor,
             note_degraded=self._note_degraded_query,
             created_at_step=step,
+            shared_cache=self.shared_cache,
         )
 
     @property
     def epoch_stats(self) -> EpochStats:
-        """The epoch layer's counters (pins, bumps, TS merges)."""
-        return self._epochs.stats()
+        """The epoch layer's counters (pins, bumps, TS merges), with
+        the shared cache's hit/miss/eviction/invalidation counters
+        merged in (zeros when the shared tier is disabled)."""
+        stats = self._epochs.stats()
+        if self.shared_cache is None:
+            return stats
+        cs = self.shared_cache.stats()
+        return replace(
+            stats,
+            cache_hits=cs.hits,
+            cache_misses=cs.misses,
+            cache_evictions=cs.evictions,
+            cache_invalidations=cs.invalidated_blocks,
+            cache_resident_blocks=cs.resident_blocks,
+        )
+
+    def warm_shared_cache(
+        self,
+        phis: "Sequence[float]",
+        window_steps: Optional[int] = None,
+    ) -> int:
+        """Prefetch the block ranges accurate queries for ``phis`` probe.
+
+        Pins a snapshot, generates each phi's TS filters and reads the
+        confined per-partition block ranges into the shared tier in
+        batched ranged reads (charged under the query phase, like the
+        probes they stand in for).  A no-op returning 0 when the shared
+        tier is disabled.  Returns the number of blocks charged.
+        """
+        if self.shared_cache is None:
+            return 0
+        self.disk.stats.set_phase("query")
+        try:
+            with self.pin() as handle:
+                return handle.warm(phis, window_steps=window_steps)
+        finally:
+            self.disk.stats.set_phase("load")
 
     def _query_scope(
         self,
@@ -676,6 +745,7 @@ class HybridQuantileEngine:
                     # estimates mid-search (None for historical-range
                     # queries, which exclude the live stream).
                     stream_rank_fn=rank_fn,
+                    cache=self._new_block_cache(),
                     executor=self._query_executor,
                 )
                 try:
@@ -785,7 +855,7 @@ class HybridQuantileEngine:
         partitions, ss, combined, rank_fn = self._query_scope(window_steps)
         total = combined.total_size
         quick_bound = self._quick_rank_bound(total, ss.stream_size)
-        cache = BlockCache(self.disk, enabled=self.config.block_cache)
+        cache = self._new_block_cache()
         results = []
         for phi in phis:
             started = time.perf_counter()

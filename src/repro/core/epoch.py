@@ -43,6 +43,7 @@ from ..sketches.base import rank_for_phi
 from ..sketches.gk import GKSketch
 from ..storage.cache import BlockCache
 from ..storage.disk import SimulatedDisk
+from ..storage.shared_cache import SharedBlockCache
 from ..warehouse.partition import Partition
 from .bounds import CombinedSummary
 from .config import EngineConfig
@@ -74,6 +75,13 @@ class EpochStats:
     #: TS merges (``CombinedSummary.build`` passes) performed for
     #: queries — the denominator-side of the coalescing ratio.
     ts_merges: int
+    #: shared-block-cache counters, merged in by ``engine.epoch_stats``
+    #: (all zero when the shared tier is disabled).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    cache_invalidations: int = 0
+    cache_resident_blocks: int = 0
 
 
 class EpochRegistry:
@@ -178,6 +186,7 @@ class SnapshotHandle:
         executor: "QueryExecutor",
         note_degraded: Callable[[], None],
         created_at_step: int,
+        shared_cache: Optional[SharedBlockCache] = None,
     ) -> None:
         self._registry = registry
         self.epoch = epoch
@@ -188,6 +197,7 @@ class SnapshotHandle:
         self._executor = executor
         self._note_degraded = note_degraded
         self.created_at_step = created_at_step
+        self._shared_cache = shared_cache
         self.n_historical = sum(len(p) for p in partitions)
         self.m_stream = gk.n
         self._cache_lock = threading.RLock()
@@ -302,6 +312,62 @@ class SnapshotHandle:
 
     # -- queries --------------------------------------------------------
 
+    def _new_cache(self) -> BlockCache:
+        """A per-query cache reading through the engine's shared tier.
+
+        Not a follower: the handle's pinned partitions stay probe-able
+        even after the live layout retires them, so the per-query
+        seen-sets must survive invalidation (shared-tier residency does
+        not — retired runs simply miss, charged, deterministic).
+        """
+        return BlockCache(
+            self._disk,
+            enabled=self.config.block_cache,
+            shared=self._shared_cache,
+        )
+
+    def warm(
+        self,
+        phis: Sequence[float],
+        cache: Optional[BlockCache] = None,
+        window_steps: Optional[int] = None,
+    ) -> int:
+        """Prefetch the block ranges accurate queries for ``phis`` probe.
+
+        For each ``phi`` the TS filters ``(u, v)`` are generated exactly
+        as the accurate search would, and every partition whose
+        candidate range is confined to ``config.prefetch_blocks`` blocks
+        is read in one charged ranged read into the shared tier.  A
+        no-op (returns 0) when no shared tier is attached.  Returns the
+        number of blocks charged by the warming pass.
+        """
+        if self._shared_cache is None:
+            return 0
+        if cache is None:
+            cache = self._new_cache()
+        combined = self.combined(window_steps)
+        total = combined.total_size
+        if total == 0:
+            return 0
+        from ..query.planner import QueryPlanner
+
+        partitions = (
+            self.partitions
+            if window_steps is None
+            else resolve_window_in(self.partitions, window_steps)
+        )
+        planner = QueryPlanner(partitions)
+        charged_before = cache.blocks_charged
+        for phi in phis:
+            rank = max(1, min(rank_for_phi(phi, total), total))
+            u, v = combined.generate_filters(rank)
+            # No skip set across phis: each phi confines a different
+            # block range, and the cache dedupes per block anyway.
+            tasks = planner.prefetch_reads(u, v, self.config.prefetch_blocks)
+            if tasks:
+                self._executor.run_tasks(tasks, cache)
+        return cache.blocks_charged - charged_before
+
     def _quick_bound(self, total: int, m_scope: int) -> float:
         hist_scope = max(0, total - m_scope)
         return (
@@ -349,7 +415,7 @@ class SnapshotHandle:
                 stream_rank_fn=(
                     self.stream_rank if step_range is None else None
                 ),
-                cache=cache,
+                cache=cache if cache is not None else self._new_cache(),
                 executor=self._executor,
             )
             try:
@@ -442,9 +508,7 @@ class SnapshotHandle:
         if self.n_total == 0:
             raise ValueError("snapshot is empty")
         if mode == "accurate":
-            cache = BlockCache(
-                self._disk, enabled=self.config.block_cache
-            )
+            cache = self._new_cache()
             return [
                 self.query_rank(
                     rank_for_phi(

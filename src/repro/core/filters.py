@@ -102,6 +102,9 @@ class AccurateSearch:
             self._cache = None
         self._blocks_at_start = self._blocks()
         self._stream_rank_fn = stream_rank_fn
+        # Run ids already prefetched this query (at most once each; the
+        # filters only narrow, so later ranges are subsets).
+        self._prefetched: set = set()
 
     # -- rank estimation ------------------------------------------------
 
@@ -132,6 +135,35 @@ class AccurateSearch:
         else:
             stream = self._ss.rank_estimate(value)
         return float(sum(hist_ranks)) + stream, hist_ranks
+
+    # -- prefetching ----------------------------------------------------
+
+    def _maybe_prefetch(self, u: int, v: int) -> None:
+        """Batched read-ahead once filters confine a partition's range.
+
+        When ``(u, v)`` narrows a partition's candidate element range
+        to at most ``config.prefetch_blocks`` blocks, the whole range
+        is read in one charged ranged read ahead of the binary-search
+        probes — fanned out through the executor like any other probe.
+        Only active when the per-query cache reads through a shared
+        tier: with the tier off, the legacy per-probe accounting must
+        reproduce bit for bit.  Answers are unaffected either way (the
+        probes still run; their touches just hit the cache).
+        """
+        if (
+            self._cache is None
+            or self._cache.shared is None
+            or self._config.prefetch_blocks < 1
+        ):
+            return
+        tasks = self._planner.prefetch_reads(
+            u, v, self._config.prefetch_blocks, skip=self._prefetched
+        )
+        if not tasks:
+            return
+        for task in tasks:
+            self._prefetched.add(task.partition.run.run_id)
+        self._executor.run_tasks(tasks, self._cache)
 
     # -- snapping -------------------------------------------------------
 
@@ -181,6 +213,7 @@ class AccurateSearch:
                     and self._blocks() - self._blocks_at_start >= budget):
                 truncated = True
                 break
+            self._maybe_prefetch(u, v)
             z = (u + v) // 2
             iterations += 1
             rho, _ = self._estimate(z)
@@ -224,6 +257,7 @@ class AccurateSearch:
             ):
                 truncated = True
                 break
+            self._maybe_prefetch(u, v)
             lo_ranks = self._historical_ranks(u)
             hi_ranks = self._historical_ranks(v)
             if sum(hi_ranks) - sum(lo_ranks) <= threshold:

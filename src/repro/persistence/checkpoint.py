@@ -273,6 +273,9 @@ def load_engine(
         store_cls=type(engine.store),
         repair=repair,
     )
+    # The store was replaced after construction: re-wire the retirement
+    # hook so compaction merges keep invalidating the shared cache.
+    engine.store.on_retire = engine._on_runs_retired
     engine._gk = load_gk((directory / SKETCH_FILE).read_bytes())
     buffer = np.load(directory / BUFFER_FILE)
     engine._buffer.extend(buffer)

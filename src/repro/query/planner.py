@@ -21,7 +21,7 @@ block accounting are identical.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Set
 
 import numpy as np
 
@@ -81,6 +81,29 @@ class RangeReadTask:
         return run.read_range(start, stop, cache=cache)
 
 
+@dataclass(frozen=True)
+class PrefetchTask:
+    """Batched read-ahead of one partition's candidate block range.
+
+    Issued once the accurate search's filters ``(u, v)`` confine a
+    partition's remaining probes to a small block range: one charged
+    ranged read warms every block the binary search could touch, so the
+    subsequent per-probe touches hit the cache instead of paying one
+    random read each.  Returns the number of blocks in the range.
+    """
+
+    partition: Partition
+    first_block: int
+    last_block: int
+
+    def run(self, cache: Optional[BlockCache]) -> int:
+        """Execute the batched ranged read."""
+        self.partition.run.read_block_range(
+            self.first_block, self.last_block, cache=cache
+        )
+        return self.last_block - self.first_block + 1
+
+
 class QueryPlanner:
     """Builds per-partition probe plans for one accurate search.
 
@@ -113,6 +136,42 @@ class QueryPlanner:
             lo, hi = partition.summary.search_bounds(value)
             tasks.append(
                 RankProbeTask(partition=partition, value=value, lo=lo, hi=hi)
+            )
+        return tasks
+
+    def prefetch_reads(
+        self,
+        u: int,
+        v: int,
+        max_blocks: int,
+        skip: Optional[Set[int]] = None,
+    ) -> List[PrefetchTask]:
+        """Per-partition block ranges confined by filters ``(u, v)``.
+
+        Only partitions whose summary-narrowed candidate range for the
+        value interval ``[u, v]`` spans at most ``max_blocks`` blocks
+        yield a task — prefetching a wider range would charge more
+        blocks than the log-depth binary search will touch.  Partitions
+        whose run id is in ``skip`` (already prefetched this query) are
+        omitted.
+        """
+        tasks: List[PrefetchTask] = []
+        for partition in self._partitions:
+            if skip is not None and partition.run.run_id in skip:
+                continue
+            lo = partition.summary.search_bounds(u)[0]
+            hi = partition.summary.search_bounds(v)[1]
+            if hi <= lo:
+                continue
+            disk = partition.run.disk
+            first = disk.block_of(lo)
+            last = disk.block_of(hi - 1)
+            if last - first + 1 > max_blocks:
+                continue
+            tasks.append(
+                PrefetchTask(
+                    partition=partition, first_block=first, last_block=last
+                )
             )
         return tasks
 

@@ -36,6 +36,7 @@ def build_bench_engine(
     kappa: int = 10,
     seed: int = 7,
     ingest_mode: str = "background",
+    shared_cache_blocks: int = 0,
 ) -> HybridQuantileEngine:
     """A warehouse pre-loaded with a seeded Normal workload."""
     config = EngineConfig(
@@ -43,6 +44,7 @@ def build_bench_engine(
         kappa=kappa,
         block_elems=100,
         ingest_mode=ingest_mode,
+        shared_cache_blocks=shared_cache_blocks,
     )
     engine = HybridQuantileEngine(config=config)
     workload = NormalWorkload(seed=seed)

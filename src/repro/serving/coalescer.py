@@ -20,10 +20,11 @@ answer.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.engine import HybridQuantileEngine
+    from ..core.epoch import SnapshotHandle
     from .metrics import ServiceMetrics
     from .service import PendingQuery
 
@@ -32,16 +33,21 @@ def answer_quick_batch(
     engine: "HybridQuantileEngine",
     batch: "List[PendingQuery]",
     metrics: "ServiceMetrics",
+    warm: "Optional[Callable[[SnapshotHandle, List[float]], None]]" = None,
 ) -> None:
     """Answer a coalesced batch of quick requests against one pin.
 
     Requests are grouped by window scope (different windows need
     different merges), deduplicated by phi within each group, and every
     request is fulfilled — or failed with the batch's exception, so no
-    waiter hangs.
+    waiter hangs.  ``warm``, when given, runs once against the pinned
+    handle with the batch's distinct phis — the service uses it to
+    prefetch the shared block tier once per epoch-batch.
     """
     try:
         with engine.pin() as handle:
+            if warm is not None:
+                warm(handle, list(dict.fromkeys(r.phi for r in batch)))
             merges_before = handle.ts_merges_built
             groups: "Dict[object, List[PendingQuery]]" = {}
             for request in batch:

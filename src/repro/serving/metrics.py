@@ -58,6 +58,22 @@ class MetricsSnapshot:
     ts_merges: int
     deduped_probes: int
     latency: Dict[str, LatencySummary] = field(default_factory=dict)
+    #: shared-block-cache counters pulled from the engine at snapshot
+    #: time (all zero when the shared tier is disabled).
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    cache_invalidations: int = 0
+    #: epoch-batch warming passes the service ran, and the blocks those
+    #: passes charged into the shared tier.
+    warm_passes: int = 0
+    warm_blocks: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Shared-cache hits per lookup (0.0 with the tier disabled)."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
 
     @property
     def requests_served(self) -> int:
@@ -97,6 +113,8 @@ class ServiceMetrics:
         self._max_batch = 0
         self._ts_merges = 0
         self._deduped_probes = 0
+        self._warm_passes = 0
+        self._warm_blocks = 0
 
     def record(self, mode: str, latency_seconds: float) -> None:
         """Count one served request and record its latency."""
@@ -130,6 +148,12 @@ class ServiceMetrics:
         with self._lock:
             self._deduped_probes += shared
 
+    def note_warm(self, blocks: int) -> None:
+        """Count one epoch-batch warming pass and its charged blocks."""
+        with self._lock:
+            self._warm_passes += 1
+            self._warm_blocks += blocks
+
     def observe_queue_depth(self, depth: int) -> None:
         """Track the queue-depth high-water mark."""
         with self._lock:
@@ -151,11 +175,14 @@ class ServiceMetrics:
         self,
         queue_depth: int = 0,
         rejected: Optional[Dict[str, int]] = None,
+        cache: Optional[object] = None,
     ) -> MetricsSnapshot:
         """Assemble one consistent :class:`MetricsSnapshot`.
 
         ``queue_depth`` and ``rejected`` live with the admission
-        controller; the service passes them in.
+        controller; the service passes them in, together with the
+        engine's :class:`~repro.storage.shared_cache.SharedCacheStats`
+        as ``cache`` when the shared tier is enabled.
         """
         # Latency summaries read sketch snapshots outside the counter
         # lock (each sketch copy-on-queries under its own lock).
@@ -173,4 +200,10 @@ class ServiceMetrics:
                 ts_merges=self._ts_merges,
                 deduped_probes=self._deduped_probes,
                 latency=latency,
+                cache_hits=getattr(cache, "hits", 0),
+                cache_misses=getattr(cache, "misses", 0),
+                cache_evictions=getattr(cache, "evictions", 0),
+                cache_invalidations=getattr(cache, "invalidated_blocks", 0),
+                warm_passes=self._warm_passes,
+                warm_blocks=self._warm_blocks,
             )

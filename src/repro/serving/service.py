@@ -33,6 +33,8 @@ from typing import Deque, List, Optional
 
 from ..core.config import ServingConfig
 from ..core.engine import HybridQuantileEngine, QueryResult
+from ..core.epoch import SnapshotHandle
+from ..storage.cache import BlockCache
 from .admission import AdmissionController, Overloaded  # noqa: F401
 from .coalescer import answer_quick_batch, dedupe_key
 from .metrics import MetricsSnapshot, ServiceMetrics
@@ -112,6 +114,25 @@ class QueryService:
         self._accurate: "Deque[PendingQuery]" = deque()
         self._paused = False
         self._closed = False
+        # Epoch-batch cache warming: when the engine carries a shared
+        # block tier, the service prefetches the block ranges popular
+        # phis will probe — once per epoch, through a long-lived
+        # *follower* cache (its per-run state is pruned when compaction
+        # retires runs; the unbounded-growth fix has a production user
+        # here, since this cache spans epochs).
+        shared = engine.shared_cache
+        self._warm_cache: Optional[BlockCache] = (
+            BlockCache(
+                engine.disk,
+                enabled=engine.config.block_cache,
+                shared=shared,
+                follow_invalidation=True,
+            )
+            if shared is not None
+            else None
+        )
+        self._warm_lock = threading.Lock()
+        self._warmed_epoch: Optional[int] = None
         self._threads: List[threading.Thread] = []
         for index in range(self.config.quick_workers):
             self._spawn(self._quick_loop, f"repro-serve-quick-{index}")
@@ -177,10 +198,30 @@ class QueryService:
 
     def metrics_snapshot(self) -> MetricsSnapshot:
         """One consistent reading of every service counter."""
+        shared = self.engine.shared_cache
         return self.metrics.snapshot(
             queue_depth=self.queue_depth,
             rejected=self.admission.rejections(),
+            cache=shared.stats() if shared is not None else None,
         )
+
+    def _maybe_warm(
+        self, handle: SnapshotHandle, phis: "List[float]"
+    ) -> None:
+        """Warm the shared tier once per epoch for the phis in flight.
+
+        The first dispatcher to handle an epoch runs the warming pass;
+        later batches and accurate groups pinned at the same epoch find
+        the blocks resident.  A no-op without a shared tier.
+        """
+        if self._warm_cache is None or not phis:
+            return
+        with self._warm_lock:
+            if self._warmed_epoch == handle.epoch:
+                return
+            self._warmed_epoch = handle.epoch
+        blocks = handle.warm(phis, cache=self._warm_cache)
+        self.metrics.note_warm(blocks)
 
     def pause(self) -> None:
         """Freeze dispatch; submissions keep queueing (test hook)."""
@@ -257,7 +298,9 @@ class QueryService:
             if batch is None:
                 return
             try:
-                answer_quick_batch(self.engine, batch, self.metrics)
+                answer_quick_batch(
+                    self.engine, batch, self.metrics, warm=self._maybe_warm
+                )
             except BaseException:
                 # Waiters got the exception via their futures; the
                 # dispatcher survives to serve the next batch.
@@ -300,6 +343,7 @@ class QueryService:
             head = group[0]
             try:
                 with self.engine.pin() as handle:
+                    self._maybe_warm(handle, [head.phi])
                     result = handle.quantile(
                         head.phi,
                         mode="accurate",

@@ -9,10 +9,13 @@ from .cache import BlockCache
 from .disk import SimulatedDisk
 from .external_sort import ExternalSorter, merge_runs
 from .runfile import SortedRun
+from .shared_cache import SharedBlockCache, SharedCacheStats
 from .stats import DiskLatencyModel, DiskStats, IoCounters
 
 __all__ = [
     "BlockCache",
+    "SharedBlockCache",
+    "SharedCacheStats",
     "SimulatedDisk",
     "ExternalSorter",
     "merge_runs",

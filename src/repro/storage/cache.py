@@ -14,15 +14,25 @@ partitions never contend), and the aggregate tallies are guarded by a
 single counter lock.  Because concurrent probes within one query always
 target distinct runs, the set of charged (run, block) pairs — and hence
 every counter — is identical to a serial execution of the same query.
+
+When a :class:`~repro.storage.shared_cache.SharedBlockCache` is
+attached, the per-query cache becomes a thin read-through layer: the
+first touch of a block by this query consults the shared tier, and only
+a shared-tier **miss** is charged to the disk (and counted in
+``blocks_charged``).  A shared hit is free and tallied separately in
+``shared_hits``, so the paper's per-query accounting is preserved in the
+cold case and visibly relaxed in the warm case.  With no shared tier
+attached the code path is exactly the historical one.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import Counter
-from typing import Dict, Set
+from typing import Dict, Optional, Set
 
 from .disk import SimulatedDisk
+from .shared_cache import SharedBlockCache
 
 
 class BlockCache:
@@ -36,19 +46,48 @@ class BlockCache:
         When ``False`` the cache degrades to "charge every probe",
         which is the un-optimized variant measured by the block-cache
         ablation benchmark.
+    shared:
+        Optional process-wide shared tier to read through.  ``None``
+        (the default) reproduces the historical per-query accounting
+        exactly.
+    follow_invalidation:
+        When ``True`` this cache registers with the shared tier and has
+        its per-run state pruned when runs retire (``drop_run``) — the
+        fix for long-lived caches whose lock map and seen-sets
+        otherwise grow without bound across compactions.  Per-query
+        caches bound to a pinned snapshot must leave this ``False``:
+        their runs stay probe-able through the pin, and dropping a
+        pinned run's seen-state would re-charge re-probes and break the
+        serial-replay accounting parity.
     """
 
-    def __init__(self, disk: SimulatedDisk, enabled: bool = True) -> None:
+    def __init__(
+        self,
+        disk: SimulatedDisk,
+        enabled: bool = True,
+        shared: Optional[SharedBlockCache] = None,
+        follow_invalidation: bool = False,
+    ) -> None:
         self._disk = disk
         self._enabled = enabled
+        self._shared = shared
         self._seen: Dict[int, Set[int]] = {}
         self._run_locks: Dict[int, threading.Lock] = {}
         self._locks_guard = threading.Lock()
         self._count_lock = threading.Lock()
         self.blocks_charged = 0
+        #: first-touches answered by the shared tier (free, not charged).
+        self.shared_hits = 0
         #: charged blocks per run — the deepest chain is the realized
         #: critical path when the executor reads partitions in parallel.
         self.blocks_per_run: "Counter[int]" = Counter()
+        if follow_invalidation and shared is not None:
+            shared.register_follower(self)
+
+    @property
+    def shared(self) -> Optional[SharedBlockCache]:
+        """The attached shared tier, if any."""
+        return self._shared
 
     def _lock_for(self, run_id: int) -> threading.Lock:
         """The per-run (per-partition) lock guarding one seen-set."""
@@ -57,6 +96,12 @@ class BlockCache:
             with self._locks_guard:
                 lock = self._run_locks.setdefault(run_id, threading.Lock())
         return lock
+
+    def _charge(self, run_id: int, blocks: int) -> None:
+        """Record ``blocks`` charged reads against ``run_id``."""
+        with self._count_lock:
+            self.blocks_charged += blocks
+            self.blocks_per_run[run_id] += blocks
 
     def touch(self, run_id: int, block: int) -> None:
         """Charge a random read of ``block`` in run ``run_id`` if new."""
@@ -67,11 +112,58 @@ class BlockCache:
             # Charge before recording: the charge may raise an injected
             # DiskFault, and a block whose read failed must not look
             # cached to the retried probe.
-            self._disk.charge_random_read(1)
-            seen.add(block)
-            with self._count_lock:
-                self.blocks_charged += 1
-                self.blocks_per_run[run_id] += 1
+            if self._shared is not None:
+                hit = self._shared.fetch_block(
+                    run_id, block, self._disk.charge_random_read
+                )
+                seen.add(block)
+                if hit:
+                    with self._count_lock:
+                        self.shared_hits += 1
+                    return
+            else:
+                self._disk.charge_random_read(1)
+                seen.add(block)
+            self._charge(run_id, 1)
+
+    def touch_range(self, run_id: int, first_block: int, last_block: int) -> None:
+        """Charge reads for every new block in [first_block, last_block].
+
+        The unseen blocks of the range are charged in a single ranged
+        random read (one ``charge_random_read(n)`` call), so residual
+        fetches and prefetch pay one disk *operation* per partition
+        while the charged block count stays identical to the historical
+        block-at-a-time loop.
+        """
+        with self._lock_for(run_id):
+            seen = self._seen.setdefault(run_id, set())
+            blocks = range(first_block, last_block + 1)
+            if self._enabled:
+                new = [b for b in blocks if b not in seen]
+            else:
+                new = list(blocks)
+            if not new:
+                return
+            if self._shared is not None:
+                # Contiguous sub-ranges of the unseen blocks, so the
+                # shared tier sees ranged lookups (and charges each
+                # missing sub-range as one ranged read).
+                for lo, hi in _contiguous(new):
+                    hits, misses = self._shared.fetch_range(
+                        run_id, lo, hi, self._disk.charge_random_read
+                    )
+                    seen.update(range(lo, hi + 1))
+                    if hits:
+                        with self._count_lock:
+                            self.shared_hits += hits
+                    if misses:
+                        self._charge(run_id, misses)
+            else:
+                # Charge-before-record, as in touch(): a DiskFault in
+                # the ranged read leaves every block of it uncached.
+                self._disk.charge_random_read(len(new))
+                seen.update(new)
+                self._charge(run_id, len(new))
 
     def max_blocks_per_run(self) -> int:
         """Deepest per-partition read chain (parallel critical path)."""
@@ -80,7 +172,33 @@ class BlockCache:
                 return 0
             return max(self.blocks_per_run.values())
 
-    def touch_range(self, run_id: int, first_block: int, last_block: int) -> None:
-        """Charge reads for every block in [first_block, last_block]."""
-        for block in range(first_block, last_block + 1):
-            self.touch(run_id, block)
+    def drop_run(self, run_id: int) -> None:
+        """Forget a retired run's lock and seen-set.
+
+        Called by the shared tier's invalidation for caches registered
+        with ``follow_invalidation=True``.  Aggregate charge counters
+        are deliberately left intact — they describe work already paid
+        for.  Only valid for runs outside the cache's pinned scope: a
+        follower cache spans epochs and never probes retired runs
+        again, so dropping the state is pure leak repair.
+        """
+        with self._lock_for(run_id):
+            self._seen.pop(run_id, None)
+        with self._locks_guard:
+            self._run_locks.pop(run_id, None)
+
+    def tracked_runs(self) -> int:
+        """Number of runs with live per-run state (leak introspection)."""
+        with self._locks_guard:
+            return len(self._run_locks)
+
+
+def _contiguous(blocks):
+    """Yield (lo, hi) for each maximal contiguous run of sorted ints."""
+    lo = prev = blocks[0]
+    for b in blocks[1:]:
+        if b != prev + 1:
+            yield lo, prev
+            lo = b
+        prev = b
+    yield lo, prev

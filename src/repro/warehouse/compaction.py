@@ -101,6 +101,8 @@ class LeveledCompactionStore(LeveledStore):
         )
         self._attach_summary(merged)
         self._levels[level] = [merged]
+        if self.on_retire is not None:
+            self.on_retire([p.run.run_id for p in victims])
 
     def check_invariant(self) -> None:
         """Assert the structural invariants of this store."""

@@ -140,6 +140,11 @@ class LeveledStore:
         # accumulation is guarded by its own small lock.
         self.cpu_seconds: Dict[str, float] = defaultdict(float)
         self._cpu_lock = threading.Lock()
+        # Invoked with the run ids retired by a merge, inside the same
+        # layout-lock critical section that removes them from the
+        # layout.  The engine wires this to shared-cache invalidation
+        # so a retired run's blocks can never outlive the run.
+        self.on_retire: Optional[Callable[[Sequence[int]], None]] = None
 
     @property
     def layout_lock(self) -> threading.RLock:
@@ -266,6 +271,8 @@ class LeveledStore:
         self._attach_summary(merged)
         self._levels[level] = []
         self._levels[level + 1].append(merged)
+        if self.on_retire is not None:
+            self.on_retire([p.run.run_id for p in victims])
 
     def _attach_summary(self, partition: Partition) -> None:
         if self._summary_builder is not None:
