@@ -1,0 +1,187 @@
+"""Ablation A10: batched ingest — update batch size x ingest mode.
+
+The vectorized write path (``engine.stream_update_many``) hands whole
+arrays to the append buffer and lets the GK sketch absorb the tail in
+one sort-once/merge-once pass at the next read point.  This ablation
+drives the same seeded Normal stream through every cell of
+
+    update batch in {1, 64, 4096}  x  ingest_mode in {sync, background}
+
+(batch 1 is the element-at-a-time ``stream_update`` baseline), timing
+only the update calls, and asserts the two halves of the contract:
+
+* *bit identity* — every cell answers every probe identically after
+  ``flush()`` (the lazy-absorption property: how the buffer was filled
+  cannot matter);
+* *throughput* — the 4096-element cells beat the element-at-a-time
+  cells by a wide margin (the hard >= 10x gate lives in
+  ``test_update_timing.py``; this table holds a conservative floor
+  across the full engine loop, which includes un-batched seal work).
+
+The table is written to ``BENCH_batch.json`` next to this file; the CI
+batch-ingest job regenerates and uploads it.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from common import SCALE, show
+from conftest import run_once
+from repro.core.config import EngineConfig
+from repro.core.engine import HybridQuantileEngine
+from repro.workloads import NormalWorkload
+
+PHIS = (0.25, 0.5, 0.75, 0.95)
+UPDATE_BATCHES = (1, 64, 4096)
+MODES = ("sync", "background")
+STEPS = 6
+STEP_ELEMS = int(20_000 * SCALE)
+KAPPA = 10
+#: conservative whole-loop floor; the dedicated timing guard holds the
+#: >= 10x update-call contract.
+SPEEDUP_FLOOR = 5.0
+RESULT_FILE = Path(__file__).resolve().parent / "BENCH_batch.json"
+
+
+def drive(update_batch, mode):
+    """One seeded ingest run; returns timings plus every probe answer."""
+    config = EngineConfig(
+        epsilon=0.01, kappa=KAPPA, block_elems=100, ingest_mode=mode
+    )
+    engine = HybridQuantileEngine(config=config)
+    workload = NormalWorkload(seed=606)
+    update_seconds = 0.0
+    started = time.perf_counter()
+    for _ in range(STEPS):
+        batch = workload.generate(STEP_ELEMS)
+        tick = time.perf_counter()
+        if update_batch == 1:
+            for value in batch.tolist():
+                engine.stream_update(value)
+        else:
+            for lo in range(0, STEP_ELEMS, update_batch):
+                engine.stream_update_many(batch[lo : lo + update_batch])
+        update_seconds += time.perf_counter() - tick
+        engine.end_time_step()
+    engine.flush()
+    # Live tail, then the probe schedule every cell must answer alike.
+    tail = workload.generate(STEP_ELEMS // 2)
+    tick = time.perf_counter()
+    if update_batch == 1:
+        for value in tail.tolist():
+            engine.stream_update(value)
+    else:
+        for lo in range(0, tail.size, update_batch):
+            engine.stream_update_many(tail[lo : lo + update_batch])
+    update_seconds += time.perf_counter() - tick
+    end_to_end = time.perf_counter() - started
+    answers = []
+    for phi in PHIS:
+        for query_mode in ("quick", "accurate"):
+            answers.append(engine.quantile(phi, mode=query_mode).value)
+    for window in engine.available_window_sizes():
+        answers.append(engine.quantile(0.5, window_steps=window).value)
+    layout = [
+        (p.level, p.start_step, p.end_step, len(p))
+        for p in engine.store.partitions()
+    ]
+    engine.check_invariants()
+    elements = STEPS * STEP_ELEMS + tail.size
+    engine.close()
+    return {
+        "mode": mode,
+        "update_batch": update_batch,
+        "elements": int(elements),
+        "update_seconds": update_seconds,
+        "updates_per_sec": elements / update_seconds,
+        "end_to_end_seconds": end_to_end,
+        "answers": answers,
+        "layout": layout,
+    }
+
+
+def sweep():
+    return [
+        drive(update_batch, mode)
+        for mode in MODES
+        for update_batch in UPDATE_BATCHES
+    ]
+
+
+def test_ablation_batch(benchmark):
+    rows = run_once(benchmark, sweep)
+    show(
+        "Ablation A10: update batch size x ingest mode (Normal, "
+        f"{STEPS} steps x {STEP_ELEMS:,} elements)",
+        ["mode", "batch", "updates/s", "update s", "end-to-end s"],
+        [
+            [
+                r["mode"],
+                r["update_batch"],
+                r["updates_per_sec"],
+                r["update_seconds"],
+                r["end_to_end_seconds"],
+            ]
+            for r in rows
+        ],
+    )
+    by_cell = {(r["mode"], r["update_batch"]): r for r in rows}
+    speedups = {
+        mode: (
+            by_cell[(mode, 4096)]["updates_per_sec"]
+            / by_cell[(mode, 1)]["updates_per_sec"]
+        )
+        for mode in MODES
+    }
+    RESULT_FILE.write_text(
+        json.dumps(
+            {
+                "benchmark": "batch_ablation",
+                "meta": {
+                    "steps": STEPS,
+                    "step_elems": STEP_ELEMS,
+                    "kappa": KAPPA,
+                    "phis": list(PHIS),
+                },
+                "rows": [
+                    {
+                        key: row[key]
+                        for key in (
+                            "mode",
+                            "update_batch",
+                            "elements",
+                            "update_seconds",
+                            "updates_per_sec",
+                            "end_to_end_seconds",
+                        )
+                    }
+                    for row in rows
+                ],
+                "speedup_4096_over_1": speedups,
+            },
+            indent=2,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+
+    # Bit identity: every cell — any batch size, either ingest mode —
+    # answers the whole probe schedule identically and lands the same
+    # leveled layout.
+    baseline = rows[0]
+    for row in rows[1:]:
+        cell = (row["mode"], row["update_batch"])
+        assert row["answers"] == baseline["answers"], cell
+        assert row["layout"] == baseline["layout"], cell
+
+    # Throughput: vectorized cells must clear the conservative
+    # whole-loop floor over element-at-a-time in both modes.
+    for mode, speedup in speedups.items():
+        assert speedup >= SPEEDUP_FLOOR, (mode, speedup)
+    # Batching helps monotonically across the sweep's endpoints.
+    for mode in MODES:
+        assert (
+            by_cell[(mode, 64)]["updates_per_sec"]
+            > by_cell[(mode, 1)]["updates_per_sec"]
+        ), mode

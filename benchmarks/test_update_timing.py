@@ -1,4 +1,4 @@
-"""Update-cost timing guard for the GK sketch (no pytest-benchmark).
+"""Update-cost timing guards (no pytest-benchmark).
 
 The shared-cache PR micro-optimized ``GKSketch.update``/``_compress``
 (scratch-list reuse instead of rebuilding the tuple lists every
@@ -9,12 +9,22 @@ pytest-benchmark is unavailable — and asserts a throughput floor set
 roughly an order of magnitude below what the current implementation
 measures (~680k updates/s on the reference container), so only a
 genuine algorithmic regression trips it, never scheduler noise.
+
+The batched-ingest PR added the vectorized write path on top:
+``engine.stream_update_many`` (one buffer extend + one vectorized
+aggregate merge per array, lazy GK absorption) and
+``GKSketch.update_many`` (sort the batch once, merge it into the
+summary in one exact-rank pass).  The speedup guards below hold the
+headline contract — batched ingest at least 10x the element-at-a-time
+rate — far enough below the measured ratios (hundreds) that only a
+real regression trips them.
 """
 
 import time
 
 import numpy as np
 
+from repro.core.engine import HybridQuantileEngine
 from repro.sketches.gk import GKSketch
 
 UPDATES = 200_000
@@ -22,6 +32,12 @@ EPSILON = 0.01
 #: updates/second floor — ~11x below the measured implementation.
 FLOOR = 60_000.0
 ROUNDS = 3
+BATCH = 4096
+#: minimum batched-over-scalar throughput ratio (the ISSUE contract).
+ENGINE_SPEEDUP_FLOOR = 10.0
+#: GK-only floor: the bulk merge measures ~6x scalar inserts; half
+#: that margin guards the algorithm without tripping on slow runners.
+GK_SPEEDUP_FLOOR = 3.0
 
 
 def measure_update_seconds() -> float:
@@ -52,6 +68,109 @@ def test_update_throughput_floor():
     assert throughput >= FLOOR, (
         f"GK update throughput regressed: {throughput:,.0f} updates/s "
         f"is below the {FLOOR:,.0f} floor"
+    )
+
+
+def _seeded_values() -> np.ndarray:
+    return np.random.default_rng(5).integers(
+        0, 1_000_000, UPDATES, dtype=np.int64
+    )
+
+
+def _best_of(rounds, fn) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        best = min(best, fn())
+    return best
+
+
+def test_engine_batch_update_speedup():
+    """stream_update_many must beat element-at-a-time by >= 10x."""
+    values = _seeded_values()
+    scalar_list = values.tolist()
+
+    def scalar_round() -> float:
+        engine = HybridQuantileEngine(epsilon=EPSILON)
+        start = time.perf_counter()
+        for value in scalar_list:
+            engine.stream_update(value)
+        elapsed = time.perf_counter() - start
+        assert engine.m_stream == UPDATES
+        return elapsed
+
+    def batched_round() -> float:
+        engine = HybridQuantileEngine(epsilon=EPSILON)
+        start = time.perf_counter()
+        for lo in range(0, UPDATES, BATCH):
+            engine.stream_update_many(values[lo : lo + BATCH])
+        elapsed = time.perf_counter() - start
+        assert engine.m_stream == UPDATES
+        return elapsed
+
+    scalar = _best_of(ROUNDS, scalar_round)
+    batched = _best_of(ROUNDS, batched_round)
+    speedup = scalar / batched
+    print(
+        f"\nengine ingest: scalar {UPDATES / scalar:,.0f} vs batched "
+        f"{UPDATES / batched:,.0f} updates/s ({speedup:,.1f}x, floor "
+        f"{ENGINE_SPEEDUP_FLOOR}x)"
+    )
+    assert speedup >= ENGINE_SPEEDUP_FLOOR, (
+        f"batched ingest speedup regressed: {speedup:.1f}x is below "
+        f"{ENGINE_SPEEDUP_FLOOR}x"
+    )
+
+
+def test_batched_engine_answers_match_scalar():
+    """The speedup is free: both feeds answer queries identically."""
+    values = _seeded_values()[:50_000]
+    scalar_engine = HybridQuantileEngine(epsilon=EPSILON)
+    for value in values.tolist():
+        scalar_engine.stream_update(value)
+    batched_engine = HybridQuantileEngine(epsilon=EPSILON)
+    for lo in range(0, values.size, BATCH):
+        batched_engine.stream_update_many(values[lo : lo + BATCH])
+    for phi in (0.05, 0.25, 0.5, 0.75, 0.95, 0.99):
+        assert (
+            scalar_engine.quantile(phi).value
+            == batched_engine.quantile(phi).value
+        ), phi
+
+
+def test_gk_update_many_speedup():
+    """The sketch's sort-once/merge-once path must beat scalar inserts."""
+    values = _seeded_values()
+    scalar_list = values.tolist()
+
+    def scalar_round() -> float:
+        sketch = GKSketch(EPSILON)
+        start = time.perf_counter()
+        for value in scalar_list:
+            sketch.update(value)
+        elapsed = time.perf_counter() - start
+        assert sketch.n == UPDATES
+        return elapsed
+
+    def batched_round() -> float:
+        sketch = GKSketch(EPSILON)
+        start = time.perf_counter()
+        for lo in range(0, UPDATES, BATCH):
+            sketch.update_many(values[lo : lo + BATCH])
+        elapsed = time.perf_counter() - start
+        assert sketch.n == UPDATES
+        return elapsed
+
+    scalar = _best_of(ROUNDS, scalar_round)
+    batched = _best_of(ROUNDS, batched_round)
+    speedup = scalar / batched
+    print(
+        f"\nGK ingest: scalar {UPDATES / scalar:,.0f} vs update_many "
+        f"{UPDATES / batched:,.0f} updates/s ({speedup:,.1f}x, floor "
+        f"{GK_SPEEDUP_FLOOR}x)"
+    )
+    assert speedup >= GK_SPEEDUP_FLOOR, (
+        f"GK update_many speedup regressed: {speedup:.1f}x is below "
+        f"{GK_SPEEDUP_FLOOR}x"
     )
 
 

@@ -1,0 +1,91 @@
+"""Batched ingest: the vectorized write path, timed and verified.
+
+Feeds the same seeded stream twice — element at a time through
+``stream_update`` and in numpy chunks through ``stream_update_many``
+— then shows the two properties the batch path promises: the batched
+feed is an order of magnitude (measured: two orders) faster, and
+every quantile answer is bit-identical, because the engine absorbs
+pending elements into its sketch lazily at read points, so how the
+buffer was filled cannot matter.
+
+    python examples/batch_ingest.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import HybridQuantileEngine
+
+EPSILON = 0.01
+KAPPA = 10
+STEPS = 4
+BATCH = 100_000   # elements per archived time step
+CHUNK = 4_096     # elements per stream_update_many call
+PHIS = (0.25, 0.5, 0.75, 0.95, 0.99)
+
+
+def feed_scalar(engine: HybridQuantileEngine, steps) -> float:
+    """Element-at-a-time baseline; returns update wall seconds."""
+    spent = 0.0
+    for batch in steps:
+        start = time.perf_counter()
+        for value in batch.tolist():
+            engine.stream_update(value)
+        spent += time.perf_counter() - start
+        engine.end_time_step()
+    return spent
+
+
+def feed_batched(engine: HybridQuantileEngine, steps) -> float:
+    """Chunked numpy feed through the vectorized path."""
+    spent = 0.0
+    for batch in steps:
+        start = time.perf_counter()
+        for lo in range(0, batch.size, CHUNK):
+            engine.stream_update_many(batch[lo:lo + CHUNK])
+        spent += time.perf_counter() - start
+        engine.end_time_step()
+    return spent
+
+
+def main() -> None:
+    steps = [
+        np.random.default_rng(42 + i)
+        .normal(100e6, 10e6, BATCH)
+        .astype(np.int64)
+        for i in range(STEPS)
+    ]
+    elements = STEPS * BATCH
+
+    print(f"Ingesting {STEPS} steps x {BATCH:,} elements, twice...")
+    scalar_engine = HybridQuantileEngine(epsilon=EPSILON, kappa=KAPPA,
+                                         block_elems=100)
+    scalar_seconds = feed_scalar(scalar_engine, steps)
+    batched_engine = HybridQuantileEngine(epsilon=EPSILON, kappa=KAPPA,
+                                          block_elems=100)
+    batched_seconds = feed_batched(batched_engine, steps)
+
+    print(f"  scalar : {elements / scalar_seconds:>12,.0f} updates/s "
+          f"({scalar_seconds:.2f}s)")
+    print(f"  batched: {elements / batched_seconds:>12,.0f} updates/s "
+          f"({batched_seconds:.2f}s, chunks of {CHUNK:,})")
+    print(f"  speedup: {scalar_seconds / batched_seconds:,.0f}x\n")
+
+    header = f"{'phi':>5} {'scalar feed':>14} {'batched feed':>14}"
+    print(header)
+    print("-" * len(header))
+    mismatches = 0
+    for phi in PHIS:
+        scalar_answer = scalar_engine.quantile(phi).value
+        batched_answer = batched_engine.quantile(phi).value
+        mismatches += scalar_answer != batched_answer
+        print(f"{phi:>5} {scalar_answer:>14,} {batched_answer:>14,}")
+    if mismatches:
+        raise SystemExit(f"{mismatches} answers differ — should be 0")
+    print("\nEvery answer bit-identical: the batch path changes "
+          "throughput, never results.")
+
+
+if __name__ == "__main__":
+    main()

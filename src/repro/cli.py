@@ -129,9 +129,14 @@ def _dump_transcript(args: argparse.Namespace, disk: SimulatedDisk) -> None:
 
 
 def _cmd_ingest(args: argparse.Namespace) -> int:
+    """Stream a file of values into the warehouse (vectorized path)."""
     engine = _load_engine_cli(args)
     values = _read_values(args.source)
-    engine.stream_update_batch(values)
+    if args.batch_size and args.batch_size > 0:
+        for lo in range(0, len(values), args.batch_size):
+            engine.stream_update_many(values[lo : lo + args.batch_size])
+    else:
+        engine.stream_update_many(values)
     message = f"streamed {len(values):,} elements"
     if args.archive:
         report = engine.end_time_step()
@@ -256,15 +261,19 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         disk = FaultyDisk(plan, block_elems=config.block_elems)
     engine = HybridQuantileEngine(config=config, disk=disk)
     workload = NormalWorkload(seed=7)
+    update_batch = (
+        args.batch_size if args.batch_size and args.batch_size > 0 else None
+    )
     print(f"demo: {args.steps} steps x {args.batch:,} elements (Normal, "
           f"{args.ingest_mode} ingest"
+          + (f", update batch {update_batch:,}" if update_batch else "")
           + (", fault injection on" if plan is not None else "")
           + ")")
-    for _ in range(args.steps):
-        engine.stream_update_batch(workload.generate(args.batch))
-        engine.end_time_step()
+    workload.feed(
+        engine, args.steps, args.batch, update_batch=update_batch
+    )
     engine.flush()
-    engine.stream_update_batch(workload.generate(args.batch))
+    engine.stream_update_many(workload.generate(args.batch))
     for phi in (0.25, 0.5, 0.75, 0.95, 0.99):
         result = engine.quantile(phi)
         print(f"  phi={phi:<5} -> {result.value:>12,} "
@@ -382,6 +391,13 @@ def build_parser() -> argparse.ArgumentParser:
     ingest.add_argument("warehouse")
     ingest.add_argument("source", help=".npy / text file / '-' for stdin")
     ingest.add_argument(
+        "--batch-size",
+        type=int,
+        default=0,
+        help="chunk the source into vectorized updates of this many "
+        "elements (0 = one update for the whole source)",
+    )
+    ingest.add_argument(
         "--archive", action="store_true",
         help="end the time step after streaming",
     )
@@ -420,6 +436,13 @@ def build_parser() -> argparse.ArgumentParser:
     demo = commands.add_parser("demo", help="self-contained demonstration")
     demo.add_argument("--steps", type=int, default=10)
     demo.add_argument("--batch", type=int, default=20_000)
+    demo.add_argument(
+        "--batch-size",
+        type=int,
+        default=0,
+        help="chunk each step's elements into vectorized updates of "
+        "this many elements (0 = one update per step)",
+    )
     demo.add_argument("--epsilon", type=float, default=0.01)
     demo.add_argument("--kappa", type=int, default=10)
     demo.add_argument(

@@ -26,10 +26,21 @@ Typical use::
 
     engine = HybridQuantileEngine(epsilon=1e-3, kappa=10)
     for batch in workload:
-        engine.stream_update_batch(batch)   # live stream
+        engine.stream_update_many(batch)    # vectorized live stream
         ... engine.quantile(0.5) ...        # query any time
         engine.end_time_step()              # archive the batch
     engine.flush()                          # drain background archiving
+
+The write path is *lazily absorbed*: ``stream_update`` and
+``stream_update_many`` only append to the growable array buffer and
+fold the batch into the running aggregates; the GK sketch swallows the
+not-yet-absorbed buffer tail in one sort-once/merge-once pass
+(:meth:`~repro.sketches.gk.GKSketch.update_many`) the first time a
+reader needs it — a pin, a stream-summary extraction, a checkpoint.
+Feeding the same elements one at a time or in arrays of any batch size
+therefore produces *bit-identical* sketch state and answers for the
+same query schedule, while batched feeding is orders of magnitude
+faster (``benchmarks/test_update_timing.py`` guards the >= 10x win).
 
 Every update and query reports its disk-access counts and timings, so
 the benchmark harness reads the same metrics the paper plots.
@@ -234,6 +245,14 @@ class HybridQuantileEngine:
         self._m = 0
         self._step = 0
         self._stream_stats = AggregateStats.empty()
+        # Lazy absorption: stream updates only touch the buffer and the
+        # aggregates under _stream_lock; _gk_absorbed counts how many
+        # buffered elements the GK sketch has swallowed.  Readers call
+        # _absorb_stream_tail() to bulk-insert the remainder before
+        # looking at the sketch.  Lock order (never reversed):
+        # _seal_lock -> _stream_lock -> the sketch's mutate lock.
+        self._stream_lock = threading.Lock()
+        self._gk_absorbed = 0
         self._query_executor = QueryExecutor(
             workers=config.query_workers, retry=config.probe_retry_policy
         )
@@ -289,27 +308,96 @@ class HybridQuantileEngine:
         return PartitionSummary.build(partition, self.config.epsilon1)
 
     def stream_update(self, value: int) -> None:
-        """Process one live stream element (amortized O(1) buffering)."""
+        """Process one live stream element (amortized O(1) buffering).
+
+        Appends to the array buffer and folds the value into the
+        running aggregates; the GK sketch absorbs it lazily at the next
+        read point (see :meth:`stream_update_many`).  Thread-safe
+        against concurrent readers and the sealing path.
+        """
         value = int(value)
-        self._gk.update(value)
-        self._buffer.append(value)
-        self._stream_stats = self._stream_stats.with_value(value)
-        self._m += 1
+        with self._stream_lock:
+            self._buffer.append(value)
+            self._stream_stats = self._stream_stats.with_value(value)
+            self._m += 1
+
+    def stream_update_many(self, values: np.ndarray) -> int:
+        """Process a numpy batch of live stream elements at once.
+
+        The vectorized write path: one buffer extend (a single array
+        copy) plus one vectorized aggregate merge per call, regardless
+        of batch size.  The GK sketch is *not* touched here — the
+        not-yet-absorbed buffer tail is bulk-inserted, sort once and
+        merge once, the next time a reader needs the sketch (a pin, a
+        stream summary, a checkpoint).  Because scalar updates follow
+        the same lazy protocol, feeding identical elements through
+        ``stream_update``, ``stream_update_batch`` or this method
+        yields bit-identical answers for the same query schedule.
+
+        Parameters
+        ----------
+        values:
+            Array of int64-coercible elements; flattened if not 1-D.
+
+        Returns
+        -------
+        int
+            Number of elements ingested.
+
+        Thread-safe against concurrent readers and the sealing path.
+        """
+        arr = np.asarray(values, dtype=np.int64)
+        if arr.ndim != 1:
+            arr = arr.ravel()
+        if arr.size == 0:
+            return 0
+        stats = AggregateStats.of_array(arr)
+        with self._stream_lock:
+            self._buffer.extend(arr)
+            self._stream_stats = self._stream_stats.merge(stats)
+            self._m += int(arr.size)
+        return int(arr.size)
 
     def stream_update_batch(self, values: Iterable[int]) -> None:
-        """Process many live stream elements at once."""
-        arr = np.asarray(
-            values if isinstance(values, np.ndarray) else list(values),
-            dtype=np.int64,
-        )
-        if arr.size == 0:
-            return
-        self._gk.update_batch(arr)
-        self._buffer.extend(arr)
-        self._stream_stats = self._stream_stats.merge(
-            AggregateStats.of_array(arr)
-        )
-        self._m += int(arr.size)
+        """Process many live stream elements from any iterable.
+
+        Arrays pass straight through to :meth:`stream_update_many`;
+        other iterables are materialized once into an int64 array via
+        ``np.fromiter`` (no per-element Python objects) and follow the
+        same single-hand-off path.
+        """
+        if isinstance(values, np.ndarray):
+            self.stream_update_many(values)
+        else:
+            self.stream_update_many(np.fromiter(values, dtype=np.int64))
+
+    def _absorb_stream_tail(self) -> None:
+        """Bulk-insert the not-yet-absorbed buffer tail into the sketch.
+
+        Called at every sketch read point.  Runs under the stream lock,
+        so the absorbed prefix length and the sketch state advance
+        atomically with respect to concurrent updates and seals; the
+        ``slice_from`` view is safe because appends (which may
+        reallocate the backing array) hold the same lock.
+        """
+        with self._stream_lock:
+            if self._gk_absorbed < len(self._buffer):
+                self._gk.update_many(
+                    self._buffer.slice_from(self._gk_absorbed)
+                )
+                self._gk_absorbed = len(self._buffer)
+
+    def stream_sketch(self) -> GKSketch:
+        """The live GK sketch with every buffered element absorbed.
+
+        The sanctioned way to read the engine's stream sketch (the
+        checkpoint writer uses it): absorbing first keeps the sketch's
+        ``n`` equal to :attr:`m_stream`.  The returned object is the
+        live sketch, not a copy — take ``.snapshot()`` to query it
+        while ingestion continues.
+        """
+        self._absorb_stream_tail()
+        return self._gk
 
     def end_time_step(self) -> StepReport:
         """Archive the current stream batch into HD and reset SS.
@@ -337,11 +425,13 @@ class HybridQuantileEngine:
             archiver.reserve()
             with self._seal_lock:
                 self._step += 1
-                batch = self._buffer.take()
-                batch_stats = self._stream_stats
-                self._m = 0
-                self._gk = self._fresh_stream_sketch()
-                self._stream_stats = AggregateStats.empty()
+                with self._stream_lock:
+                    batch = self._buffer.take()
+                    batch_stats = self._stream_stats
+                    self._m = 0
+                    self._gk = self._fresh_stream_sketch()
+                    self._gk_absorbed = 0
+                    self._stream_stats = AggregateStats.empty()
                 pending = PendingBatch(step=self._step, values=batch)
                 pending.stats = batch_stats
                 depth = archiver.enqueue_reserved(pending)
@@ -351,10 +441,12 @@ class HybridQuantileEngine:
             )
         with self._seal_lock:
             self._step += 1
-            batch = self._buffer.take()
-            self._m = 0
-            self._gk = self._fresh_stream_sketch()
-            self._stream_stats = AggregateStats.empty()
+            with self._stream_lock:
+                batch = self._buffer.take()
+                self._m = 0
+                self._gk = self._fresh_stream_sketch()
+                self._gk_absorbed = 0
+                self._stream_stats = AggregateStats.empty()
             self._epochs.bump("seal")
             return self._end_time_step_sync(batch, started)
 
@@ -543,7 +635,12 @@ class HybridQuantileEngine:
         return self._step
 
     def stream_summary(self) -> StreamSummary:
-        """Extract SS from the live GK sketch (Algorithm 4)."""
+        """Extract SS from the live GK sketch (Algorithm 4).
+
+        Absorbs any buffered-but-unabsorbed stream tail first, so the
+        summary always covers every ingested element.
+        """
+        self._absorb_stream_tail()
         return StreamSummary.extract(self._gk, self.config.epsilon2)
 
     def _stream_rank_estimate(self, value: int) -> float:
@@ -553,6 +650,7 @@ class HybridQuantileEngine:
         of the truth — the same guarantee class as the Algorithm 8
         summary estimate, without its quantization.
         """
+        self._absorb_stream_tail()
         if self._gk.n == 0:
             return 0.0
         lo, hi = self._gk.rank_bounds(int(value))
@@ -621,6 +719,7 @@ class HybridQuantileEngine:
         with self._seal_lock:
             ordered, pending, epoch = self._layout_snapshot()
             self._stage_pending(ordered, pending)
+            self._absorb_stream_tail()
             gk = self._gk.snapshot()
             step = self._step
         self._epochs.pin(epoch)
@@ -1089,7 +1188,10 @@ class HybridQuantileEngine:
 
         Counts summaries of already-staged pending partitions too, but
         does not force staging (reporting memory must not perform I/O).
+        The stream sketch absorbs any buffered tail first — CPU-only
+        work — so its reported footprint covers every ingested element.
         """
+        self._absorb_stream_tail()
         partitions = self.store.partitions()
         if self._archiver is not None:
             for batch in self._archiver.pending_batches():

@@ -63,11 +63,17 @@ class PartitionSummary:
             return cls(values=empty, positions=empty.copy(),
                        partition_size=0, eps1=eps1)
         beta1 = math.ceil(1.0 / eps1) + 1
-        ranks = [1]
-        for i in range(1, beta1):
-            ranks.append(min(size, math.ceil(i * eps1 * size)))
-        unique_ranks = sorted(set(ranks))
-        positions = np.asarray(unique_ranks, dtype=np.int64)
+        # Vectorized rank schedule: identical arithmetic to the scalar
+        # loop min(size, ceil(i * eps1 * size)) — the float product is
+        # evaluated in the same order, so the sampled ranks are
+        # bit-identical to element-at-a-time construction.
+        idx = np.arange(1, beta1, dtype=np.int64)
+        ranks = np.minimum(
+            size, np.ceil(idx * eps1 * size)
+        ).astype(np.int64)
+        positions = np.unique(
+            np.concatenate([np.asarray([1], dtype=np.int64), ranks])
+        )
         values = data[positions - 1].astype(np.int64)
         return cls(values=values, positions=positions,
                    partition_size=size, eps1=eps1)
@@ -148,23 +154,35 @@ class StreamSummary:
                        stream_size=0, eps2=eps2)
         beta2 = math.ceil(1.0 / eps2) + 1
         slack = math.ceil(sketch.epsilon * m)
-        entries = [sketch.min_value()]
-        # Nothing precedes the exact minimum.
-        uppers = [0]
-        for i in range(1, beta2):
-            target = min(m, math.ceil(i * eps2 * m) + slack)
-            entries.append(sketch.query_rank(target))
-            # At most target + eps_gk*m elements precede the response.
-            uppers.append(min(m, target + slack))
-        values = np.asarray(entries, dtype=np.int64)
+        # Vectorized extraction: the target schedule
+        # min(m, ceil(i * eps2 * m) + slack) is computed with the same
+        # float-product order as the scalar loop, and query_ranks
+        # answers each target exactly as query_rank would — so the
+        # extracted summary is bit-identical to per-rank extraction.
+        idx = np.arange(1, beta2, dtype=np.int64)
+        targets = np.minimum(
+            m, np.ceil(idx * eps2 * m).astype(np.int64) + slack
+        )
+        entries = sketch.query_ranks(targets)
+        values = np.concatenate(
+            [np.asarray([sketch.min_value()], dtype=np.int64), entries]
+        )
         # GK responses are monotone in the queried rank, but guard the
         # invariant the bounds computation relies on.
         values = np.maximum.accumulate(values)
+        # Nothing precedes the exact minimum; at most target + eps_gk*m
+        # elements precede each queried response.
+        uppers = np.concatenate(
+            [
+                np.asarray([0], dtype=np.int64),
+                np.minimum(m, targets + slack),
+            ]
+        )
         return cls(
             values=values,
             stream_size=m,
             eps2=eps2,
-            strict_uppers=np.asarray(uppers, dtype=np.int64),
+            strict_uppers=uppers,
         )
 
     def __len__(self) -> int:

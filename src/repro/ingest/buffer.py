@@ -56,6 +56,18 @@ class AppendBuffer:
         view.flags.writeable = False
         return view
 
+    def slice_from(self, start: int) -> np.ndarray:
+        """Read-only view of elements ``[start, len)`` (no copy).
+
+        The lazy-absorption path reads the not-yet-absorbed tail with
+        this; the caller must hold whatever lock also guards appends,
+        because a concurrent ``append`` may reallocate the backing
+        array out from under the view.
+        """
+        view = self._data[max(0, start) : self._len].view()
+        view.flags.writeable = False
+        return view
+
     def take(self) -> np.ndarray:
         """Return a copy of the contents and reset the buffer.
 

@@ -157,7 +157,9 @@ def save_engine(engine: HybridQuantileEngine, directory: "str | Path") -> Path:
             previous_warehouse if previous_warehouse.is_dir() else None
         ),
     )
-    (stage / SKETCH_FILE).write_bytes(dump_gk(engine._gk))
+    # stream_sketch() absorbs any buffered-but-unabsorbed tail first,
+    # so the saved sketch count always equals the saved buffer size.
+    (stage / SKETCH_FILE).write_bytes(dump_gk(engine.stream_sketch()))
     np.save(stage / BUFFER_FILE, np.asarray(engine._buffer.view()))
     _reach("mid-stage")
     state = {
@@ -281,6 +283,8 @@ def load_engine(
     engine._buffer.extend(buffer)
     engine._stream_stats = AggregateStats.of_array(buffer)
     engine._m = int(buffer.size)
+    # The saved sketch had absorbed the whole saved buffer.
+    engine._gk_absorbed = int(buffer.size)
     if engine._m != int(state["stream_elems"]):
         raise PersistenceError(
             "stream buffer size disagrees with engine state"

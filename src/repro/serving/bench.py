@@ -37,8 +37,14 @@ def build_bench_engine(
     seed: int = 7,
     ingest_mode: str = "background",
     shared_cache_blocks: int = 0,
+    update_batch: "int | None" = None,
 ) -> HybridQuantileEngine:
-    """A warehouse pre-loaded with a seeded Normal workload."""
+    """A warehouse pre-loaded with a seeded Normal workload.
+
+    Ingestion runs through the vectorized ``stream_update_many`` path;
+    ``update_batch`` chunks each per-step array into smaller update
+    calls (``None`` hands the whole step over in one call).
+    """
     config = EngineConfig(
         epsilon=epsilon,
         kappa=kappa,
@@ -48,12 +54,10 @@ def build_bench_engine(
     )
     engine = HybridQuantileEngine(config=config)
     workload = NormalWorkload(seed=seed)
-    for _ in range(steps):
-        engine.stream_update_batch(workload.generate(batch))
-        engine.end_time_step()
+    workload.feed(engine, steps, batch, update_batch=update_batch)
     engine.flush()
     # Leave a live stream tail so queries exercise the HS ∪ SS union.
-    engine.stream_update_batch(workload.generate(batch))
+    engine.stream_update_many(workload.generate(batch))
     return engine
 
 

@@ -95,7 +95,7 @@ class LoadGenerator:
         outcomes = {"served": 0, "rejected": 0, "degraded": 0}
         answers: List[Tuple[float, int, int]] = []
 
-        def run_client(plan: List[float]) -> None:
+        def _run_client(plan: List[float]) -> None:
             for phi in plan:
                 try:
                     request = self.service.submit(phi, mode)
@@ -114,7 +114,7 @@ class LoadGenerator:
             self.service.pause()
         threads = [
             threading.Thread(
-                target=run_client, args=(plan,), name=f"repro-load-{i}"
+                target=_run_client, args=(plan,), name=f"repro-load-{i}"
             )
             for i, plan in enumerate(plans)
         ]

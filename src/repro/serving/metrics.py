@@ -36,6 +36,7 @@ class LatencySummary:
 
     @classmethod
     def empty(cls) -> "LatencySummary":
+        """The all-zero summary of a mode that served no requests."""
         return cls(count=0, p50=0.0, p95=0.0, p99=0.0)
 
 
@@ -164,11 +165,11 @@ class ServiceMetrics:
         if sketch.n == 0:
             return LatencySummary.empty()
 
-        def pct(phi: float) -> float:
+        def _pct(phi: float) -> float:
             return sketch.query_rank(rank_for_phi(phi, sketch.n)) / 1e6
 
         return LatencySummary(
-            count=sketch.n, p50=pct(0.50), p95=pct(0.95), p99=pct(0.99)
+            count=sketch.n, p50=_pct(0.50), p95=_pct(0.95), p99=_pct(0.99)
         )
 
     def snapshot(

@@ -1,10 +1,16 @@
 """Common interface for streaming quantile sketches.
 
 Every sketch in this package consumes a stream of int64 values one at a
-time (``update``) or in batches (``update_batch``), and answers rank
-queries: given a target rank ``r`` (1-indexed, rank = number of elements
-less than or equal to the answer), return a value whose true rank is
-within the sketch's error bound of ``r``.
+time (``update``), from an arbitrary iterable (``update_batch``), or as
+a numpy array (``update_many``), and answers rank queries: given a
+target rank ``r`` (1-indexed, rank = number of elements less than or
+equal to the answer), return a value whose true rank is within the
+sketch's error bound of ``r``.
+
+``update_many`` is the vectorized entry point of the batched ingest
+path: implementations that can merge a sorted batch in one pass (GK,
+the exact oracle) override it; everything else (MRL, Q-Digest) inherits
+a per-element loop, so every sketch accepts arrays uniformly.
 """
 
 from __future__ import annotations
@@ -12,6 +18,8 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 from typing import Iterable
+
+import numpy as np
 
 
 class QuantileSketch(ABC):
@@ -24,6 +32,17 @@ class QuantileSketch(ABC):
     def update_batch(self, values: Iterable[int]) -> None:
         """Process many elements; subclasses may override with fast paths."""
         for value in values:
+            self.update(int(value))
+
+    def update_many(self, values: np.ndarray) -> None:
+        """Process a numpy batch of elements.
+
+        The default falls back to per-element ``update`` so every
+        sketch accepts arrays; subclasses with a bulk-insertion fast
+        path (sort once, merge once) override this.
+        """
+        arr = np.asarray(values, dtype=np.int64).ravel()
+        for value in arr:
             self.update(int(value))
 
     @property

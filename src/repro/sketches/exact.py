@@ -34,11 +34,15 @@ class ExactQuantiles(QuantileSketch):
         self.update_batch(np.asarray([value], dtype=np.int64))
 
     def update_batch(self, values: Iterable[int]) -> None:
-        """Process many elements at once."""
-        arr = np.asarray(
-            values if isinstance(values, np.ndarray) else list(values),
-            dtype=np.int64,
-        )
+        """Process many elements from any iterable."""
+        if isinstance(values, np.ndarray):
+            self.update_many(values)
+        else:
+            self.update_many(np.fromiter(values, dtype=np.int64))
+
+    def update_many(self, values: np.ndarray) -> None:
+        """Process a numpy batch in one O(1)-append chunk."""
+        arr = np.asarray(values, dtype=np.int64).ravel()
         if arr.size == 0:
             return
         self._chunks.append(arr.copy())

@@ -100,17 +100,34 @@ class GKSketch(QuantileSketch):
                 self._since_compress = 0
 
     def update_batch(self, values: Iterable[int]) -> None:
-        """Merge a batch of elements.
+        """Merge a batch of elements from any iterable.
+
+        Arrays pass straight through to :meth:`update_many`; other
+        iterables are materialized once into an int64 array via
+        ``np.fromiter`` (no intermediate Python list) and follow the
+        same path.
+        """
+        if isinstance(values, np.ndarray):
+            self.update_many(values)
+        else:
+            self.update_many(np.fromiter(values, dtype=np.int64))
+
+    def update_many(self, values: np.ndarray) -> None:
+        """Bulk-insert a numpy batch: sort once, merge once.
 
         Small batches fall back to per-element updates.  Large batches
         are sorted (their internal ranks then being exact) and merged
         into the summary with exact-rank algebra; the result satisfies
-        the same rank-bracketing invariant as element-wise insertion.
+        the same rank-bracketing invariant as element-wise insertion,
+        so the ``eps``-guarantee is preserved (see docs/THEORY.md,
+        "Batched updates").
+
+        Thread-safety: mutations run under the sketch's mutate lock,
+        consistent with :meth:`update` and :meth:`snapshot`.
         """
-        arr = np.asarray(
-            values if isinstance(values, np.ndarray) else list(values),
-            dtype=np.int64,
-        )
+        arr = np.asarray(values, dtype=np.int64)
+        if arr.ndim != 1:
+            arr = arr.ravel()
         if arr.size == 0:
             return
         if arr.size < _BATCH_THRESHOLD:
@@ -181,9 +198,12 @@ class GKSketch(QuantileSketch):
         # sums (and therefore all rank bounds) intact.  The first
         # tuple always has g = rmin[0] >= 1.
         keep = g > 0
-        self._values = [int(v) for v in values[keep]]
-        self._g = [int(x) for x in g[keep]]
-        self._delta = [int(x) for x in delta[keep]]
+        # ndarray.tolist() yields the same Python ints as int(v) per
+        # element, at C speed — this rebuild is the bulk-merge path's
+        # hottest line.
+        self._values = values[keep].tolist()
+        self._g = g[keep].tolist()
+        self._delta = delta[keep].tolist()
         self._query_arrays = None
 
     def _compress(self) -> None:
@@ -263,6 +283,32 @@ class GKSketch(QuantileSketch):
             return self._values[-1]
         first = int(np.argmax(exceeds))
         return self._values[max(0, first - 1)]
+
+    def query_ranks(self, ranks: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`query_rank` over an array of targets.
+
+        Answers every target with one running-max pass over the tuple
+        bounds plus a single ``searchsorted`` — the element-wise
+        semantics are preserved exactly (each answer equals what
+        ``query_rank`` returns for that target), which the summary
+        extraction path relies on for bit-identical batched queries.
+        """
+        if self._n == 0:
+            raise ValueError("sketch is empty")
+        targets = np.clip(np.asarray(ranks, dtype=np.int64), 1, self._n)
+        allowed = self.epsilon * self._n
+        values, _, rmax = self._arrays()
+        # The first tuple with rmax > t equals the first tuple whose
+        # running max exceeds t, and the running max is sorted — so the
+        # scalar argmax scan becomes one searchsorted.
+        ceiling = np.maximum.accumulate(rmax)
+        first = np.searchsorted(ceiling, targets + allowed, side="right")
+        answer = np.where(
+            first >= len(values),
+            len(values) - 1,
+            np.maximum(first - 1, 0),
+        )
+        return values[answer]
 
     def rank_bounds(self, value: int) -> Tuple[int, int]:
         """Bounds ``(rmin, rmax)`` on the rank of an arbitrary ``value``.

@@ -36,6 +36,39 @@ class Workload(ABC):
         for _ in range(num_steps):
             yield self.generate(batch_elems)
 
+    def feed(
+        self,
+        engine,
+        num_steps: int,
+        batch_elems: int,
+        update_batch: "int | None" = None,
+        end_steps: bool = True,
+    ) -> int:
+        """Drive ``engine`` with this workload over the vectorized path.
+
+        Generates ``num_steps`` arrays of ``batch_elems`` elements and
+        hands each to ``engine.stream_update_many`` — whole, or chunked
+        into slices of at most ``update_batch`` elements to mimic a
+        given arrival batch size (``update_batch=1`` degenerates to the
+        scalar cadence while still exercising the array entry point).
+        With ``end_steps`` (default) each generated array is sealed via
+        ``engine.end_time_step()``.  Returns the number of elements fed.
+        """
+        total = 0
+        for batch in self.batches(num_steps, batch_elems):
+            if update_batch is None or update_batch >= batch.size:
+                total += engine.stream_update_many(batch)
+            else:
+                if update_batch < 1:
+                    raise ValueError("update_batch must be >= 1")
+                for lo in range(0, int(batch.size), update_batch):
+                    total += engine.stream_update_many(
+                        batch[lo : lo + update_batch]
+                    )
+            if end_steps:
+                engine.end_time_step()
+        return total
+
     def reset(self) -> None:
         """Rewind the generator to its initial seed."""
         self._rng = np.random.default_rng(self.seed)

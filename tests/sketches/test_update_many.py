@@ -1,0 +1,87 @@
+"""Every sketch accepts numpy batches through ``update_many``.
+
+GK and the exact oracle override it with bulk fast paths; MRL,
+Q-Digest and the sampler inherit the base-protocol per-element loop.
+Either way, feeding an array through ``update_many`` must be
+indistinguishable from replaying it element by element (deterministic
+sketches: identical state; seeded randomized sketches: identical
+because the element order and RNG draws coincide).
+"""
+
+import numpy as np
+import pytest
+
+from repro.sketches.exact import ExactQuantiles
+from repro.sketches.gk import GKSketch
+from repro.sketches.mrl import MRL99Sketch
+from repro.sketches.qdigest import QDigestSketch
+from repro.sketches.random_sampler import RandomSamplerSketch
+
+
+def scalar_fed(sketch, values):
+    for value in values:
+        sketch.update(int(value))
+    return sketch
+
+
+def make_all():
+    return {
+        "gk": lambda: GKSketch(0.01),
+        "exact": lambda: ExactQuantiles(),
+        "mrl": lambda: MRL99Sketch(buffer_size=64, num_buffers=4, seed=5),
+        "qdigest": lambda: QDigestSketch(0.05, universe_log2=20),
+        "sampler": lambda: RandomSamplerSketch(sample_size=128, seed=5),
+    }
+
+
+@pytest.mark.parametrize("name", sorted(make_all()))
+def test_update_many_matches_scalar_replay(name):
+    rng = np.random.default_rng(17)
+    values = rng.integers(0, 2**20, size=200)  # below GK's bulk threshold
+    via_loop = scalar_fed(make_all()[name](), values)
+    via_array = make_all()[name]()
+    via_array.update_many(values)
+    assert via_array.n == via_loop.n == 200
+    for rank in (1, 10, 100, 150, 200):
+        assert via_array.query_rank(rank) == via_loop.query_rank(rank), rank
+
+
+def test_update_many_flattens_and_ignores_empty():
+    sketch = GKSketch(0.01)
+    sketch.update_many(np.empty(0, dtype=np.int64))
+    assert sketch.n == 0
+    sketch.update_many(np.arange(6).reshape(2, 3))
+    assert sketch.n == 6
+    assert sketch.min_value() == 0
+    assert sketch.max_value() == 5
+
+
+def test_gk_update_many_equals_update_batch():
+    rng = np.random.default_rng(23)
+    values = rng.integers(0, 10**6, size=5000)
+    a = GKSketch(0.01)
+    a.update_many(values)
+    b = GKSketch(0.01)
+    b.update_batch(int(v) for v in values)  # iterable entry point
+    assert a._values == b._values
+    assert a._g == b._g
+    assert a._delta == b._delta
+    assert a.n == b.n == 5000
+
+
+def test_gk_query_ranks_matches_scalar_queries():
+    rng = np.random.default_rng(29)
+    sketch = GKSketch(0.01)
+    sketch.update_many(rng.integers(0, 10**6, size=20_000))
+    targets = np.concatenate(
+        [
+            np.asarray([1, 2, 19_999, 20_000]),
+            rng.integers(1, 20_000, size=200),
+            np.asarray([-5, 0, 10**9]),  # clamped like query_rank
+        ]
+    )
+    vectorized = sketch.query_ranks(targets)
+    scalar = np.asarray(
+        [sketch.query_rank(int(t)) for t in targets], dtype=np.int64
+    )
+    assert np.array_equal(vectorized, scalar)

@@ -1,0 +1,132 @@
+"""Documentation lint: docstring audit + markdown link checker.
+
+Two dependency-free checks that keep the operator-facing documentation
+layer from rotting (the CI docs job runs this script; the tier-1 suite
+runs the same functions via ``tests/test_docs.py``):
+
+* ``check_docstrings(paths)`` — an AST pass mirroring pydocstyle's
+  D100–D104 missing-docstring rules (module, public class, public
+  method, public function, package ``__init__``) over the public API
+  surface.  Names with a leading underscore and dunder methods are
+  exempt, matching pydocstyle's definition of "public".
+* ``check_markdown_links(files)`` — every relative link target in the
+  given markdown files must exist on disk (anchors stripped; absolute
+  URLs and ``mailto:`` skipped).
+
+Run from the repository root::
+
+    python tools/check_docs.py
+
+Exits non-zero listing every violation, so CI output shows the full
+set at once rather than the first failure.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Directories whose public API must be fully docstringed.
+DOCSTRING_SCOPES = ("src/repro/core", "src/repro/serving")
+
+#: Markdown trees the link checker walks.
+MARKDOWN_SCOPES = ("docs", "README.md", "CHANGES.md")
+
+_LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _missing_in_class(node: ast.ClassDef, path: Path) -> "list[str]":
+    problems = []
+    if _is_public(node.name) and ast.get_docstring(node) is None:
+        problems.append(f"{path}:{node.lineno}: class {node.name}")
+    for child in node.body:
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if _is_public(child.name) and ast.get_docstring(child) is None:
+                problems.append(
+                    f"{path}:{child.lineno}: method "
+                    f"{node.name}.{child.name}"
+                )
+    return problems
+
+
+def check_docstrings(paths=DOCSTRING_SCOPES) -> "list[str]":
+    """Return one line per missing public docstring under ``paths``."""
+    problems = []
+    for scope in paths:
+        root = REPO_ROOT / scope
+        for path in sorted(root.rglob("*.py")):
+            rel = path.relative_to(REPO_ROOT)
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+            if ast.get_docstring(tree) is None:
+                kind = "package" if path.name == "__init__.py" else "module"
+                problems.append(f"{rel}:1: {kind} docstring missing")
+            for node in tree.body:
+                if isinstance(node, ast.ClassDef):
+                    problems.extend(_missing_in_class(node, rel))
+                elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    if (
+                        _is_public(node.name)
+                        and ast.get_docstring(node) is None
+                    ):
+                        problems.append(
+                            f"{rel}:{node.lineno}: function {node.name}"
+                        )
+    return problems
+
+
+def _markdown_files(scopes=MARKDOWN_SCOPES) -> "list[Path]":
+    files = []
+    for scope in scopes:
+        path = REPO_ROOT / scope
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        elif path.exists():
+            files.append(path)
+    return files
+
+
+def check_markdown_links(files=None) -> "list[str]":
+    """Return one line per broken relative link in the markdown set."""
+    problems = []
+    for path in _markdown_files() if files is None else files:
+        text = path.read_text(encoding="utf-8")
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            for target in _LINK_PATTERN.findall(line):
+                if target.startswith(
+                    ("http://", "https://", "mailto:", "#")
+                ):
+                    continue
+                relative = target.split("#", 1)[0]
+                if not relative:
+                    continue
+                resolved = (path.parent / relative).resolve()
+                if not resolved.exists():
+                    problems.append(
+                        f"{path.relative_to(REPO_ROOT)}:{lineno}: "
+                        f"broken link -> {target}"
+                    )
+    return problems
+
+
+def main() -> int:
+    """Run both checks; print violations and return an exit code."""
+    problems = check_docstrings() + check_markdown_links()
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"{len(problems)} documentation problem(s)", file=sys.stderr)
+        return 1
+    print("docs: docstring audit and link check clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
