@@ -17,8 +17,10 @@ every batch size.
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from repro import (
@@ -41,6 +43,55 @@ from repro.workloads import (
 )
 
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+#: every ablation writes its artifact here: benchmarks/BENCH_<name>.json
+BENCH_DIR = Path(__file__).resolve().parent
+
+#: keys every BENCH artifact must carry so the JSON files line up —
+#: ``meta.shards``/``meta.sketch_backend`` identify the topology even
+#: for single-engine ablations (shards=1, backend "gk").
+_BENCH_REQUIRED_TOP = ("benchmark", "meta", "rows")
+_BENCH_REQUIRED_META = ("shards", "sketch_backend")
+_BENCH_BACKENDS = ("gk", "kll")
+
+
+def bench_path(name: str) -> Path:
+    """Canonical artifact path for ablation ``name``."""
+    return BENCH_DIR / f"BENCH_{name}.json"
+
+
+def validate_bench_doc(doc: dict) -> None:
+    """Enforce the shared BENCH schema; raises ``ValueError`` on drift."""
+    for key in _BENCH_REQUIRED_TOP:
+        if key not in doc:
+            raise ValueError(f"BENCH doc missing required key {key!r}")
+    if not isinstance(doc["benchmark"], str) or not doc["benchmark"]:
+        raise ValueError("BENCH doc 'benchmark' must be a non-empty string")
+    meta = doc["meta"]
+    if not isinstance(meta, dict):
+        raise ValueError("BENCH doc 'meta' must be an object")
+    for key in _BENCH_REQUIRED_META:
+        if key not in meta:
+            raise ValueError(f"BENCH meta missing required key {key!r}")
+    if not isinstance(meta["shards"], int) or meta["shards"] < 1:
+        raise ValueError("BENCH meta 'shards' must be an int >= 1")
+    if meta["sketch_backend"] not in _BENCH_BACKENDS:
+        raise ValueError(
+            f"BENCH meta 'sketch_backend' must be one of {_BENCH_BACKENDS}"
+        )
+    rows = doc["rows"]
+    if not isinstance(rows, list) or not rows:
+        raise ValueError("BENCH doc 'rows' must be a non-empty list")
+    if not all(isinstance(row, dict) for row in rows):
+        raise ValueError("BENCH doc 'rows' entries must be objects")
+
+
+def write_bench(name: str, doc: dict) -> Path:
+    """Validate ``doc`` against the shared schema and write the artifact."""
+    validate_bench_doc(doc)
+    path = bench_path(name)
+    path.write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")
+    return path
 
 #: paper memory label (MB) -> fraction of the batch held in memory
 PAPER_MEMORY_MB = (100, 200, 300, 400, 500)

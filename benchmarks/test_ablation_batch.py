@@ -22,11 +22,9 @@ The table is written to ``BENCH_batch.json`` next to this file; the CI
 batch-ingest job regenerates and uploads it.
 """
 
-import json
 import time
-from pathlib import Path
 
-from common import SCALE, show
+from common import SCALE, bench_path, show, write_bench
 from conftest import run_once
 from repro.core.config import EngineConfig
 from repro.core.engine import HybridQuantileEngine
@@ -41,7 +39,7 @@ KAPPA = 10
 #: conservative whole-loop floor; the dedicated timing guard holds the
 #: >= 10x update-call contract.
 SPEEDUP_FLOOR = 5.0
-RESULT_FILE = Path(__file__).resolve().parent / "BENCH_batch.json"
+RESULT_FILE = bench_path("batch")
 
 
 def drive(update_batch, mode):
@@ -134,36 +132,34 @@ def test_ablation_batch(benchmark):
         )
         for mode in MODES
     }
-    RESULT_FILE.write_text(
-        json.dumps(
-            {
-                "benchmark": "batch_ablation",
-                "meta": {
-                    "steps": STEPS,
-                    "step_elems": STEP_ELEMS,
-                    "kappa": KAPPA,
-                    "phis": list(PHIS),
-                },
-                "rows": [
-                    {
-                        key: row[key]
-                        for key in (
-                            "mode",
-                            "update_batch",
-                            "elements",
-                            "update_seconds",
-                            "updates_per_sec",
-                            "end_to_end_seconds",
-                        )
-                    }
-                    for row in rows
-                ],
-                "speedup_4096_over_1": speedups,
+    write_bench(
+        "batch",
+        {
+            "benchmark": "batch_ablation",
+            "meta": {
+                "steps": STEPS,
+                "step_elems": STEP_ELEMS,
+                "kappa": KAPPA,
+                "phis": list(PHIS),
+                "shards": 1,
+                "sketch_backend": "gk",
             },
-            indent=2,
-        )
-        + "\n",
-        encoding="utf-8",
+            "rows": [
+                {
+                    key: row[key]
+                    for key in (
+                        "mode",
+                        "update_batch",
+                        "elements",
+                        "update_seconds",
+                        "updates_per_sec",
+                        "end_to_end_seconds",
+                    )
+                }
+                for row in rows
+            ],
+            "speedup_4096_over_1": speedups,
+        },
     )
 
     # Bit identity: every cell — any batch size, either ingest mode —

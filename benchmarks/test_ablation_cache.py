@@ -24,13 +24,11 @@ Acceptance checks asserted here:
   exactly (the historical per-query accounting regression check).
 """
 
-import json
-from pathlib import Path
 
 import numpy as np
 
 from conftest import run_once
-from common import show
+from common import bench_path, show, write_bench
 from repro.core.config import ServingConfig
 from repro.serving import QueryService
 from repro.serving.bench import BENCH_PHIS, build_bench_engine
@@ -42,7 +40,7 @@ SEED = 7
 CLIENTS = 32
 REQUESTS_PER_CLIENT = 8
 SHARED_BLOCKS = 4096
-RESULT_FILE = Path(__file__).resolve().parent / "BENCH_cache.json"
+RESULT_FILE = bench_path("cache")
 
 
 def build(shared_blocks):
@@ -136,6 +134,8 @@ def sweep():
             "requests_per_client": REQUESTS_PER_CLIENT,
             "shared_cache_blocks": SHARED_BLOCKS,
             "phis": list(BENCH_PHIS),
+            "shards": 1,
+            "sketch_backend": "gk",
         },
     }
 
@@ -208,9 +208,10 @@ def test_ablation_cache(benchmark):
             for r in doc["serving"]
         ],
     )
-    RESULT_FILE.write_text(
-        json.dumps(doc, indent=2) + "\n", encoding="utf-8"
-    )
+    # The schema's common table: one row per serial config plus one
+    # per serving scenario (the detailed groups stay alongside).
+    doc["rows"] = doc["serial"] + doc["serving"]
+    write_bench("cache", doc)
 
     serial = {r["config"]: r for r in doc["serial"]}
     serving = {r["config"]: r for r in doc["serving"]}

@@ -19,20 +19,18 @@ both modes — the equivalence the unit suite verifies exhaustively at
 small scale, re-checked here at benchmark scale.
 """
 
-import json
 import os
 import time
-from pathlib import Path
 
 
-from common import accuracy_scale, hybrid_engine, show
+from common import accuracy_scale, bench_path, hybrid_engine, show, write_bench
 from conftest import run_once
 from repro.workloads import NormalWorkload
 
 PHIS = (0.25, 0.5, 0.75, 0.95)
 KAPPA = 10
 QUERIES_PER_STEP = 2
-RESULT_FILE = Path(__file__).resolve().parent / "BENCH_ingest.json"
+RESULT_FILE = bench_path("ingest")
 
 
 def drive(mode):
@@ -120,31 +118,28 @@ def test_ablation_ingest(benchmark):
             for r in rows
         ],
     )
-    RESULT_FILE.write_text(
-        json.dumps(
-            {
-                "benchmark": "ingest_ablation",
-                "rows": [
-                    {
-                        key: row[key]
-                        for key in (
-                            "mode",
-                            "stall_seconds",
-                            "archive_wall_seconds",
-                            "end_to_end_seconds",
-                            "max_queue_depth",
-                            "steps",
-                            "io_total",
-                            "io_archive",
-                        )
-                    }
-                    for row in rows
-                ],
-            },
-            indent=2,
-        )
-        + "\n",
-        encoding="utf-8",
+    write_bench(
+        "ingest",
+        {
+            "benchmark": "ingest_ablation",
+            "meta": {"shards": 1, "sketch_backend": "gk"},
+            "rows": [
+                {
+                    key: row[key]
+                    for key in (
+                        "mode",
+                        "stall_seconds",
+                        "archive_wall_seconds",
+                        "end_to_end_seconds",
+                        "max_queue_depth",
+                        "steps",
+                        "io_total",
+                        "io_archive",
+                    )
+                }
+                for row in rows
+            ],
+        },
     )
 
     # Identical work: the archival phases (load/sort/merge) charge the

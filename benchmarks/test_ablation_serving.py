@@ -19,16 +19,14 @@ Acceptance checks asserted here:
   queue past its bound, and metrics report queue depth and p99.
 """
 
-import json
-from pathlib import Path
 
 from conftest import run_once
-from common import show
+from common import bench_path, show, write_bench
 from repro.serving import run_serving_bench
 
 CLIENTS = (1, 8, 32)
 REQUESTS_PER_CLIENT = 25
-RESULT_FILE = Path(__file__).resolve().parent / "BENCH_serving.json"
+RESULT_FILE = bench_path("serving")
 
 
 def sweep():
@@ -84,9 +82,10 @@ def test_ablation_serving(benchmark):
             for r in doc["overload"]
         ],
     )
-    RESULT_FILE.write_text(
-        json.dumps(doc, indent=2) + "\n", encoding="utf-8"
-    )
+    doc.setdefault("meta", {}).update({"shards": 1, "sketch_backend": "gk"})
+    # The schema's common table: closed-loop rows plus overload rows.
+    doc["rows"] = doc["closed_loop"] + doc["overload"]
+    write_bench("serving", doc)
 
     # Every request of every run must be answered or typed-rejected,
     # and every answer must match the serial replay bit for bit.

@@ -18,6 +18,13 @@ inventory, and EXPERIMENTS.md for the paper-versus-measured record.
 """
 
 from .baselines import PureStreamingEngine, StrawmanEngine
+from .cluster import (
+    ClusterEngine,
+    ClusterSnapshot,
+    ShardRouter,
+    load_cluster,
+    save_cluster,
+)
 from .frequent import HeavyHittersEngine, MisraGriesSketch
 from .core import (
     EngineConfig,
@@ -54,6 +61,7 @@ from .serving import (
 from .sketches import (
     ExactQuantiles,
     GKSketch,
+    KLLSketch,
     MRL99Sketch,
     QDigestSketch,
     RandomSamplerSketch,
@@ -71,6 +79,11 @@ __version__ = "1.0.0"
 __all__ = [
     "PureStreamingEngine",
     "StrawmanEngine",
+    "ClusterEngine",
+    "ClusterSnapshot",
+    "ShardRouter",
+    "load_cluster",
+    "save_cluster",
     "HeavyHittersEngine",
     "MisraGriesSketch",
     "EngineConfig",
@@ -102,6 +115,7 @@ __all__ = [
     "SnapshotHandle",
     "ExactQuantiles",
     "GKSketch",
+    "KLLSketch",
     "MRL99Sketch",
     "QDigestSketch",
     "RandomSamplerSketch",

@@ -127,7 +127,7 @@ class PureStreamingEngine:
         )
         if arr.size == 0:
             return
-        self.sketch.update_batch(arr)
+        self.sketch.update_many(arr)
         self._pending_elems += int(arr.size)
         self._n_total += int(arr.size)
 

@@ -63,7 +63,7 @@ class StrawmanEngine:
         )
         if arr.size == 0:
             return
-        self._gk.update_batch(arr)
+        self._gk.update_many(arr)
         self._stream_chunks.append(arr.copy())
         self._m += int(arr.size)
 

@@ -77,6 +77,7 @@ def _cmd_init(args: argparse.Namespace) -> int:
         ingest_mode=args.ingest_mode,
         shared_cache_blocks=args.shared_cache_blocks,
         prefetch_blocks=args.prefetch_blocks,
+        sketch_backend=args.sketch_backend,
     )
     engine = HybridQuantileEngine(config=config)
     save_engine(engine, directory)
@@ -250,10 +251,13 @@ def _cmd_cache_stats(args: argparse.Namespace) -> int:
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
+    if args.shards > 1:
+        return _cmd_demo_cluster(args)
     config = EngineConfig(
         epsilon=args.epsilon, kappa=args.kappa, block_elems=100,
         query_workers=args.query_workers, ingest_mode=args.ingest_mode,
         shared_cache_blocks=args.shared_cache_blocks,
+        sketch_backend=args.sketch_backend,
     )
     plan = _fault_plan_of(args)
     disk: Optional[SimulatedDisk] = None
@@ -301,6 +305,46 @@ def _cmd_demo(args: argparse.Namespace) -> int:
               f"{report.degraded_queries} degraded queries")
     _dump_transcript(args, engine.disk)
     engine.close()
+    return 0
+
+
+def _cmd_demo_cluster(args: argparse.Namespace) -> int:
+    """Sharded demo: fan a workload across N shards, gather quantiles."""
+    from .cluster import ClusterEngine
+
+    config = EngineConfig(
+        epsilon=args.epsilon, kappa=args.kappa, block_elems=100,
+        query_workers=args.query_workers,
+        sketch_backend=args.sketch_backend,
+    )
+    cluster = ClusterEngine(shards=args.shards, config=config)
+    workload = NormalWorkload(seed=7)
+    update_batch = (
+        args.batch_size if args.batch_size and args.batch_size > 0 else None
+    )
+    print(f"demo: {args.steps} steps x {args.batch:,} elements over "
+          f"{args.shards} shards ({args.sketch_backend} sketches"
+          + (f", update batch {update_batch:,}" if update_batch else "")
+          + ")")
+    workload.feed(
+        cluster, args.steps, args.batch, update_batch=update_batch
+    )
+    cluster.flush()
+    cluster.stream_update_many(workload.generate(args.batch))
+    for phi in (0.25, 0.5, 0.75, 0.95, 0.99):
+        result = cluster.quantile(phi)
+        print(f"  phi={phi:<5} -> {result.value:>12,} "
+              f"({result.disk_accesses} disk accesses)")
+    sims = cluster.per_shard_sim_seconds()
+    print(f"elements: {cluster.n_total:,} over {args.shards} shards; "
+          f"simulated I/O critical path {max(sims) * 1e3:.1f} ms "
+          f"(single-device equivalent {sum(sims) * 1e3:.1f} ms)")
+    for report in cluster.shard_reports():
+        print(f"  shard {report['shard']}: "
+              f"{report['n_historical'] + report['m_stream']:,} elems, "
+              f"{report['io_total']:,} block I/Os, "
+              f"{report['sim_seconds'] * 1e3:.1f} ms simulated")
+    cluster.close()
     return 0
 
 
@@ -372,6 +416,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--prefetch-blocks", type=int, default=4,
         help="max contiguous blocks the accurate path prefetches per "
              "run once its filters narrow (needs a shared cache)",
+    )
+    init.add_argument(
+        "--sketch-backend", choices=("gk", "kll"), default="gk",
+        help="stream sketch: gk (deterministic, default) or kll "
+             "(randomized, mergeable across shards)",
     )
     init.add_argument("--force", action="store_true")
     init.set_defaults(handler=_cmd_init)
@@ -457,6 +506,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--shared-cache-blocks", type=int, default=0,
         help="capacity of the process-wide shared block cache "
              "(default 0: disabled)",
+    )
+    demo.add_argument(
+        "--shards", type=int, default=1,
+        help="run the demo over a sharded cluster of this many engines "
+             "(default 1: a single engine; fault options apply to "
+             "single-engine demos only)",
+    )
+    demo.add_argument(
+        "--sketch-backend", choices=("gk", "kll"), default="gk",
+        help="stream sketch: gk (deterministic, default) or kll "
+             "(randomized, mergeable across shards)",
     )
     add_fault_options(demo)
     demo.set_defaults(handler=_cmd_demo)

@@ -1,0 +1,15 @@
+"""Sharded multi-engine cluster: routing, scatter/gather, durability."""
+
+from .engine import ClusterEngine, ClusterSnapshot, ShardedBlockCache
+from .persistence import list_shard_dirs, load_cluster, save_cluster
+from .router import ShardRouter
+
+__all__ = [
+    "ClusterEngine",
+    "ClusterSnapshot",
+    "ShardedBlockCache",
+    "ShardRouter",
+    "list_shard_dirs",
+    "load_cluster",
+    "save_cluster",
+]

@@ -1,0 +1,776 @@
+"""Sharded multi-engine cluster: fan-out ingest, fused queries.
+
+:class:`ClusterEngine` runs N in-process
+:class:`~repro.core.engine.HybridQuantileEngine` shards, each with its
+**own** :class:`~repro.storage.disk.SimulatedDisk` — the cluster models
+N independent devices, which is exactly what sharding buys: ingest I/O
+(sort + archive + merges) divides across devices, so the simulated
+critical path (``max`` over shards) shrinks ~linearly with the shard
+count even though this process is single-threaded.  A
+:class:`~repro.cluster.router.ShardRouter` places elements; batched
+ingest fans a numpy array out per shard in one vectorized pass.
+
+Queries go through :class:`ClusterSnapshot`, which pins every shard
+(``engine.pin()`` per shard, in shard order) and answers with the same
+machinery as a single engine:
+
+* **quick** — per-shard stream summaries plus every shard's partition
+  summaries are fused into one :class:`~repro.core.bounds.CombinedSummary`
+  (rank bounds are additive across components, so the fused error is
+  the single-engine contract over the union:
+  ``eps1 * n + eps2 * m``).  With the KLL backend the per-shard
+  sketches could equivalently be merged sketch-level first — the fused
+  TS route is what keeps the quick path *identical* to the
+  single-engine code.
+* **accurate** — scatter/gather: the *single-engine*
+  :class:`~repro.core.filters.AccurateSearch` runs unchanged over the
+  union of all shards' partitions; a :class:`ShardedBlockCache` routes
+  each block touch to the owning shard's per-query cache (charging
+  that shard's disk), and the stream term of every rank estimate is
+  the sum of per-shard pinned-sketch brackets.  With ``shards == 1``
+  every probe, filter and snap is bit-identical to the plain engine.
+
+The snapshot's epoch is the tuple of per-shard epochs — hashable and
+comparable, so the serving layer's coalescer groups cluster requests
+exactly as it groups single-engine ones.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.bounds import CombinedSummary
+from ..core.config import EngineConfig
+from ..core.engine import HybridQuantileEngine, QueryResult, StepReport
+from ..core.epoch import SnapshotHandle
+from ..core.filters import AccurateSearch
+from ..core.summaries import StreamSummary
+from ..faults.errors import DiskFault
+from ..query.executor import QueryExecutor
+from ..sketches.base import rank_for_phi
+from ..storage.cache import BlockCache
+from ..warehouse.partition import Partition
+from .router import ShardRouter
+
+
+class ShardedBlockCache:
+    """Routes block touches to the owning shard's per-query cache.
+
+    :class:`~repro.core.filters.AccurateSearch` talks to one cache; a
+    cluster query spans runs on N distinct simulated disks.  This
+    multiplexer maps each ``run_id`` (globally unique across disks) to
+    the per-shard :class:`~repro.storage.cache.BlockCache` built for
+    the query, so every charge lands on the disk that actually holds
+    the run — per-shard I/O accounting stays exact.
+    """
+
+    def __init__(
+        self,
+        shard_caches: Sequence[BlockCache],
+        run_to_shard: Dict[int, int],
+    ) -> None:
+        self._caches = list(shard_caches)
+        self._run_to_shard = dict(run_to_shard)
+        # Prefetch gating mirrors BlockCache.shared: enabled when any
+        # shard reads through a shared tier.
+        self.shared = next(
+            (c.shared for c in self._caches if c.shared is not None), None
+        )
+
+    def _cache_for(self, run_id: int) -> BlockCache:
+        try:
+            return self._caches[self._run_to_shard[run_id]]
+        except KeyError:
+            raise KeyError(
+                f"run {run_id} is not pinned by this cluster snapshot"
+            ) from None
+
+    def touch(self, run_id: int, block: int) -> None:
+        """Charge one block read against the owning shard's disk."""
+        self._cache_for(run_id).touch(run_id, block)
+
+    def touch_range(
+        self, run_id: int, first_block: int, last_block: int
+    ) -> None:
+        """Charge a ranged read against the owning shard's disk."""
+        self._cache_for(run_id).touch_range(run_id, first_block, last_block)
+
+    @property
+    def blocks_charged(self) -> int:
+        """Total blocks charged across every shard (scatter sum)."""
+        return sum(c.blocks_charged for c in self._caches)
+
+    def per_shard_blocks(self) -> List[int]:
+        """Blocks charged per shard — the gather side of the accounting."""
+        return [c.blocks_charged for c in self._caches]
+
+    def max_blocks_per_run(self) -> int:
+        """Deepest per-partition read chain across all shards."""
+        return max((c.max_blocks_per_run() for c in self._caches), default=0)
+
+
+class _FusedStreamSummary:
+    """Union-stream facade over per-shard stream summaries.
+
+    Presents exactly the :class:`~repro.core.summaries.StreamSummary`
+    surface the accurate search touches — ``stream_size``,
+    ``rank_estimate`` and ``largest_at_most`` — each gathered across
+    shards (sums for ranks, max for the predecessor).  With one shard
+    every method degenerates to the underlying summary's, keeping the
+    single-shard cluster bit-identical to a plain engine.
+    """
+
+    def __init__(self, summaries: Sequence[StreamSummary]) -> None:
+        self._summaries = list(summaries)
+        self.stream_size = sum(s.stream_size for s in self._summaries)
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether no shard held live stream elements."""
+        return self.stream_size == 0
+
+    def rank_estimate(self, value: int) -> float:
+        """Sum of per-shard Algorithm 8 stream estimates."""
+        return sum(s.rank_estimate(value) for s in self._summaries)
+
+    def largest_at_most(self, value: int) -> "int | None":
+        """Largest summary element <= value across every shard."""
+        candidates = [
+            c
+            for c in (s.largest_at_most(value) for s in self._summaries)
+            if c is not None
+        ]
+        return max(candidates) if candidates else None
+
+
+class ClusterSnapshot:
+    """A pinned, consistent view across every shard of a cluster.
+
+    Holds one :class:`~repro.core.epoch.SnapshotHandle` per shard (in
+    shard order) and mirrors the handle's query surface — ``quantile``,
+    ``quantile_many``, ``query_rank``, ``warm``, ``epoch``,
+    ``ts_merges_built`` — so the serving layer drives a cluster through
+    the exact same duck-typed protocol as a single engine.
+
+    Can be built from any list of pinned handles (not only via
+    :meth:`ClusterEngine.pin`): the equivalence harness constructs one
+    over *standalone* engines that replayed recorded per-shard feeds
+    and checks the answers match the cluster's bit for bit.
+    """
+
+    def __init__(
+        self,
+        handles: Sequence[SnapshotHandle],
+        config: EngineConfig,
+        executor: QueryExecutor,
+    ) -> None:
+        if not handles:
+            raise ValueError("a cluster snapshot needs at least one shard")
+        self.handles = list(handles)
+        self.config = config
+        self._executor = executor
+        #: tuple of per-shard epochs — hashable, so the coalescer's
+        #: same-epoch batching works unchanged.
+        self.epoch = tuple(h.epoch for h in self.handles)
+        self.n_historical = sum(h.n_historical for h in self.handles)
+        self.m_stream = sum(h.m_stream for h in self.handles)
+        self._combined: Optional[CombinedSummary] = None
+        self._merges = 0
+        self._released = False
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def released(self) -> bool:
+        """Whether :meth:`release` has run."""
+        return self._released
+
+    def release(self) -> None:
+        """Release every per-shard pin (idempotent)."""
+        if not self._released:
+            self._released = True
+            for handle in self.handles:
+                handle.release()
+
+    def __enter__(self) -> "ClusterSnapshot":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    # -- derived views --------------------------------------------------
+
+    @property
+    def n_total(self) -> int:
+        """Total elements across all shards at pin time."""
+        return self.n_historical + self.m_stream
+
+    def _scope(
+        self,
+        window_steps: Optional[int] = None,
+        step_range: "Optional[tuple[int, int]]" = None,
+    ) -> "tuple[List[List[Partition]], List[StreamSummary]]":
+        """Per-shard (partitions, SS) pairs for the queried scope."""
+        partitions: List[List[Partition]] = []
+        summaries: List[StreamSummary] = []
+        for handle in self.handles:
+            parts, ss = handle.scope(window_steps, step_range)
+            partitions.append(list(parts))
+            summaries.append(ss)
+        return partitions, summaries
+
+    def combined(
+        self,
+        window_steps: Optional[int] = None,
+        step_range: "Optional[tuple[int, int]]" = None,
+    ) -> CombinedSummary:
+        """Fused TS over every shard's scope (full scope cached)."""
+        if window_steps is None and step_range is None:
+            if self._combined is None:
+                self._combined = self._build_combined(*self._scope())
+            return self._combined
+        return self._build_combined(*self._scope(window_steps, step_range))
+
+    def _build_combined(
+        self,
+        shard_partitions: List[List[Partition]],
+        summaries: List[StreamSummary],
+    ) -> CombinedSummary:
+        partition_summaries = [
+            p.summary
+            for parts in shard_partitions
+            for p in parts
+            if len(p) > 0
+        ]
+        built = CombinedSummary.build(partition_summaries, summaries)
+        self._merges += 1
+        return built
+
+    @property
+    def ts_merges_built(self) -> int:
+        """Fused TS merges this snapshot has performed."""
+        return self._merges
+
+    def stream_rank(self, value: int) -> float:
+        """Union-stream rank estimate: sum of per-shard sketch brackets."""
+        return sum(h.stream_rank(value) for h in self.handles)
+
+    def warm(
+        self,
+        phis: Sequence[float],
+        cache: Optional[BlockCache] = None,
+        window_steps: Optional[int] = None,
+    ) -> int:
+        """Per-shard warm pass (no-op without per-shard shared tiers).
+
+        The ``cache`` argument is accepted for handle-protocol
+        compatibility but ignored: each shard warms through its own
+        tier, reading from its own disk.
+        """
+        del cache  # per-shard tiers use per-shard caches
+        return sum(
+            h.warm(phis, window_steps=window_steps) for h in self.handles
+        )
+
+    def _quick_bound(self, total: int, m_scope: int) -> float:
+        hist_scope = max(0, total - m_scope)
+        return (
+            self.config.epsilon1 * hist_scope
+            + self.config.epsilon2 * m_scope
+        )
+
+    def _new_cache(
+        self, shard_partitions: List[List[Partition]]
+    ) -> ShardedBlockCache:
+        """Per-query sharded cache over the pinned per-shard views."""
+        run_to_shard = {
+            p.run.run_id: shard
+            for shard, parts in enumerate(shard_partitions)
+            for p in parts
+        }
+        return ShardedBlockCache(
+            [h._new_cache() for h in self.handles], run_to_shard
+        )
+
+    # -- queries --------------------------------------------------------
+
+    def query_rank(
+        self,
+        rank: int,
+        mode: str = "accurate",
+        window_steps: Optional[int] = None,
+        step_range: "Optional[tuple[int, int]]" = None,
+        cache: Optional[ShardedBlockCache] = None,
+    ) -> QueryResult:
+        """Answer over the union of every shard's pinned view.
+
+        Quick mode reads the fused TS; accurate mode runs the
+        single-engine search over the union of partitions, with block
+        touches routed per shard.  The result mirrors
+        :meth:`SnapshotHandle.query_rank` field for field;
+        ``parallel_sim_seconds`` is the per-device critical path (max
+        blocks charged on any one shard's disk).
+        """
+        if mode not in ("quick", "accurate"):
+            raise ValueError("mode must be 'quick' or 'accurate'")
+        if self.n_total == 0:
+            raise ValueError("snapshot is empty")
+        started = time.perf_counter()
+        shard_partitions, summaries = self._scope(window_steps, step_range)
+        combined = self.combined(window_steps, step_range)
+        rank = max(1, min(int(rank), combined.total_size))
+        m_scope = sum(s.stream_size for s in summaries)
+        quick_bound = self._quick_bound(combined.total_size, m_scope)
+        degraded = False
+        parallel_blocks = 0
+        if mode == "quick":
+            value = combined.quick_response(rank)
+            blocks = 0
+            estimated = float(rank)
+            iterations = 0
+            truncated = False
+            bound = quick_bound
+        else:
+            if cache is None:
+                cache = self._new_cache(shard_partitions)
+            before = cache.per_shard_blocks()
+            search = AccurateSearch(
+                partitions=[
+                    p for parts in shard_partitions for p in parts
+                ],
+                stream_summary=_FusedStreamSummary(summaries),
+                combined=combined,
+                config=self.config,
+                rank=rank,
+                stream_rank_fn=(
+                    self.stream_rank if step_range is None else None
+                ),
+                cache=cache,
+                executor=self._executor,
+            )
+            try:
+                outcome = search.run()
+            except DiskFault:
+                if not self.config.degrade_on_fault:
+                    raise
+                outcome = None
+            if outcome is None:
+                degraded = True
+                value = combined.quick_response(rank)
+                blocks = 0
+                estimated = float(rank)
+                iterations = 0
+                truncated = True
+                bound = quick_bound
+            else:
+                value = outcome.value
+                blocks = outcome.random_blocks
+                estimated = outcome.estimated_rank
+                iterations = outcome.iterations
+                truncated = outcome.truncated
+                bound = self.config.query_epsilon * m_scope
+                parallel_blocks = max(
+                    after - prior
+                    for after, prior in zip(
+                        cache.per_shard_blocks(), before
+                    )
+                )
+        latency = self.handles[0]._disk.latency
+        return QueryResult(
+            value=int(value),
+            target_rank=rank,
+            total_size=combined.total_size,
+            mode=mode,
+            estimated_rank=estimated,
+            disk_accesses=blocks,
+            iterations=iterations,
+            truncated=truncated,
+            wall_seconds=time.perf_counter() - started,
+            sim_seconds=blocks * latency.seconds_per_random_block,
+            window_steps=window_steps,
+            query_workers=self._executor.workers,
+            degraded=degraded,
+            rank_error_bound=float(bound),
+            parallel_sim_seconds=(
+                parallel_blocks * latency.seconds_per_random_block
+            ),
+        )
+
+    def _scope_total(
+        self,
+        window_steps: Optional[int],
+        step_range: "Optional[tuple[int, int]]",
+    ) -> int:
+        if window_steps is None and step_range is None:
+            return self.n_total
+        return sum(
+            h._scope_total(window_steps, step_range) for h in self.handles
+        )
+
+    def quantile(
+        self,
+        phi: float,
+        mode: str = "accurate",
+        window_steps: Optional[int] = None,
+        step_range: "Optional[tuple[int, int]]" = None,
+    ) -> QueryResult:
+        """A phi-quantile of the cluster-wide union (Definition 1)."""
+        total = self._scope_total(window_steps, step_range)
+        return self.query_rank(
+            rank_for_phi(phi, total),
+            mode=mode,
+            window_steps=window_steps,
+            step_range=step_range,
+        )
+
+    def quantile_many(
+        self,
+        phis: Sequence[float],
+        mode: str = "quick",
+        window_steps: Optional[int] = None,
+    ) -> List[QueryResult]:
+        """Batched quantiles against the fused view.
+
+        Quick mode: one (cached) fused TS merge, one vectorized
+        rank-bound pass — the coalescer's contract, unchanged.
+        Accurate mode shares one sharded cache across the searches.
+        """
+        if mode not in ("quick", "accurate"):
+            raise ValueError("mode must be 'quick' or 'accurate'")
+        if self.n_total == 0:
+            raise ValueError("snapshot is empty")
+        if mode == "accurate":
+            shard_partitions, _ = self._scope(window_steps)
+            cache = self._new_cache(shard_partitions)
+            return [
+                self.query_rank(
+                    rank_for_phi(
+                        phi, self._scope_total(window_steps, None)
+                    ),
+                    mode="accurate",
+                    window_steps=window_steps,
+                    cache=cache,
+                )
+                for phi in phis
+            ]
+        started = time.perf_counter()
+        _, summaries = self._scope(window_steps)
+        combined = self.combined(window_steps)
+        total = combined.total_size
+        ranks = np.asarray(
+            [
+                max(1, min(rank_for_phi(phi, total), total))
+                for phi in phis
+            ],
+            dtype=np.int64,
+        )
+        values = combined.quick_responses(ranks)
+        bound = self._quick_bound(
+            total, sum(s.stream_size for s in summaries)
+        )
+        wall = time.perf_counter() - started
+        return [
+            QueryResult(
+                value=int(value),
+                target_rank=int(rank),
+                total_size=total,
+                mode="quick",
+                estimated_rank=float(rank),
+                disk_accesses=0,
+                iterations=0,
+                truncated=False,
+                wall_seconds=wall,
+                sim_seconds=0.0,
+                window_steps=window_steps,
+                query_workers=self._executor.workers,
+                rank_error_bound=float(bound),
+            )
+            for rank, value in zip(ranks, values)
+        ]
+
+
+class ClusterEngine:
+    """Facade over N engine shards: one logical stream, one query API.
+
+    Construction creates the shards (each with a fresh simulated disk)
+    and the router.  Ingest fans out deterministically; time steps
+    advance in lockstep (``end_time_step`` seals every shard); queries
+    pin all shards and gather.  The serving layer's
+    :class:`~repro.serving.service.QueryService` drives a cluster
+    through the same duck-typed surface as a single engine — ``pin``,
+    ``config``, ``shared_cache`` (``None``: warm passes are a per-shard
+    concern) and ``disk``.
+    """
+
+    def __init__(
+        self,
+        shards: int = 2,
+        config: Optional[EngineConfig] = None,
+        epsilon: Optional[float] = None,
+        router: Optional[ShardRouter] = None,
+        engines: Optional[Sequence[HybridQuantileEngine]] = None,
+    ) -> None:
+        if config is None:
+            if epsilon is None:
+                raise ValueError("pass epsilon or a full EngineConfig")
+            config = EngineConfig(epsilon=epsilon)
+        self.config = config
+        self.router = (
+            router if router is not None else ShardRouter(shards)
+        )
+        if self.router.shards != shards:
+            raise ValueError(
+                f"router covers {self.router.shards} shards, "
+                f"cluster has {shards}"
+            )
+        if engines is not None:
+            if len(engines) != shards:
+                raise ValueError(
+                    f"got {len(engines)} engines for {shards} shards"
+                )
+            self.shards: List[HybridQuantileEngine] = list(engines)
+        else:
+            self.shards = [
+                HybridQuantileEngine(config=config) for _ in range(shards)
+            ]
+        self._executor = QueryExecutor(
+            workers=config.query_workers,
+            retry=config.probe_retry_policy,
+        )
+        self._step = 0
+
+    # -- ingest ---------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        """Number of engine shards."""
+        return len(self.shards)
+
+    def stream_update(self, value: int) -> None:
+        """Route one live element to its shard."""
+        self.shards[self.router.shard_of(value)].stream_update(value)
+
+    def stream_update_many(self, values: np.ndarray) -> int:
+        """Fan a numpy batch out per shard in one vectorized pass.
+
+        Each shard receives its sub-stream in arrival order, so the
+        fanned batch is indistinguishable from element-wise routing
+        (and each shard's own batched path preserves its single-engine
+        bit-identity contract).  Returns the number of elements
+        ingested.
+        """
+        arr = np.asarray(values, dtype=np.int64)
+        if arr.ndim != 1:
+            arr = arr.ravel()
+        if arr.size == 0:
+            return 0
+        for shard, chunk in zip(self.shards, self.router.route_many(arr)):
+            if chunk.size:
+                shard.stream_update_many(chunk)
+        return int(arr.size)
+
+    def stream_update_batch(self, values: Iterable[int]) -> None:
+        """Iterable convenience wrapper over :meth:`stream_update_many`."""
+        if isinstance(values, np.ndarray):
+            self.stream_update_many(values)
+        else:
+            self.stream_update_many(
+                np.fromiter(values, dtype=np.int64)
+            )
+
+    def end_time_step(self) -> List[StepReport]:
+        """Seal the current step on every shard (lockstep).
+
+        Returns the per-shard step reports in shard order.  All shards
+        seal even when a shard received no elements this step, so step
+        numbering — and therefore windowed queries — stays aligned
+        across the cluster.
+        """
+        reports = [shard.end_time_step() for shard in self.shards]
+        self._step += 1
+        return reports
+
+    def flush(self) -> List[List[StepReport]]:
+        """Drain every shard's archiver; per-shard authoritative reports."""
+        return [shard.flush() for shard in self.shards]
+
+    # -- stats ----------------------------------------------------------
+
+    @property
+    def n_historical(self) -> int:
+        """Elements archived across all shards."""
+        return sum(s.n_historical for s in self.shards)
+
+    @property
+    def m_stream(self) -> int:
+        """Live stream elements across all shards."""
+        return sum(s.m_stream for s in self.shards)
+
+    @property
+    def n_total(self) -> int:
+        """Total elements ingested across all shards."""
+        return self.n_historical + self.m_stream
+
+    @property
+    def steps_sealed(self) -> int:
+        """Lockstep count of sealed time steps."""
+        return self._step
+
+    @property
+    def shared_cache(self):
+        """Always ``None``: shared tiers live inside each shard.
+
+        The serving layer checks this to decide whether to run warm
+        passes itself; for a cluster, warming is delegated per shard
+        via :meth:`ClusterSnapshot.warm`.
+        """
+        return None
+
+    @property
+    def disk(self):
+        """Shard 0's disk (protocol compatibility; see per-shard stats)."""
+        return self.shards[0].disk
+
+    def available_window_sizes(self) -> List[int]:
+        """Window sizes answerable on every shard (lockstep: identical)."""
+        common = set(self.shards[0].available_window_sizes())
+        for shard in self.shards[1:]:
+            common &= set(shard.available_window_sizes())
+        return sorted(common)
+
+    def per_shard_sim_seconds(self) -> List[float]:
+        """Simulated seconds accrued on each shard's device so far.
+
+        ``max`` over the list is the cluster's I/O critical path — the
+        wall-clock a deployment with one real device per shard would
+        observe; ``sum`` is the single-device equivalent.
+        """
+        return [s.disk.simulated_seconds() for s in self.shards]
+
+    def shard_reports(self) -> List[dict]:
+        """Per-shard metrics: sizes, epochs, I/O — the gather side.
+
+        One dict per shard with ingest sizes, epoch-layer counters and
+        simulated-device accounting, ready for the serving layer's
+        metrics endpoint or the ablation's JSON rows.
+        """
+        reports = []
+        for index, shard in enumerate(self.shards):
+            stats = shard.epoch_stats
+            counters = shard.disk.stats.counters
+            reports.append(
+                {
+                    "shard": index,
+                    "n_historical": shard.n_historical,
+                    "m_stream": shard.m_stream,
+                    "steps_sealed": shard.steps_sealed,
+                    "epoch": stats.current_epoch,
+                    "ts_merges": stats.ts_merges,
+                    "live_pins": stats.live_pins,
+                    "io_total": counters.total,
+                    "io_sequential": (
+                        counters.sequential_reads + counters.sequential_writes
+                    ),
+                    "io_random": counters.random_reads,
+                    "sim_seconds": shard.disk.simulated_seconds(),
+                }
+            )
+        return reports
+
+    # -- queries --------------------------------------------------------
+
+    def pin(self) -> ClusterSnapshot:
+        """Pin every shard (in shard order) into one consistent view.
+
+        Per-shard pins are individually atomic against that shard's
+        sealing; cross-shard exactness holds when ingest is quiesced
+        (the equivalence harness's regime).  On failure every
+        already-acquired pin is released.
+        """
+        handles: List[SnapshotHandle] = []
+        try:
+            for shard in self.shards:
+                handles.append(shard.pin())
+        except BaseException:
+            for handle in handles:
+                handle.release()
+            raise
+        return ClusterSnapshot(handles, self.config, self._executor)
+
+    def query_rank(
+        self,
+        rank: int,
+        mode: str = "accurate",
+        window_steps: Optional[int] = None,
+        step_range: "Optional[tuple[int, int]]" = None,
+    ) -> QueryResult:
+        """Rank query over the cluster-wide union (pin, gather, release)."""
+        with self.pin() as snapshot:
+            return snapshot.query_rank(
+                rank,
+                mode=mode,
+                window_steps=window_steps,
+                step_range=step_range,
+            )
+
+    def quantile(
+        self,
+        phi: float,
+        mode: str = "accurate",
+        window_steps: Optional[int] = None,
+        step_range: "Optional[tuple[int, int]]" = None,
+    ) -> QueryResult:
+        """A phi-quantile of the cluster-wide union."""
+        with self.pin() as snapshot:
+            return snapshot.quantile(
+                phi,
+                mode=mode,
+                window_steps=window_steps,
+                step_range=step_range,
+            )
+
+    def quantile_many(
+        self,
+        phis: Sequence[float],
+        mode: str = "quick",
+        window_steps: Optional[int] = None,
+    ) -> List[QueryResult]:
+        """Batched quantiles over one pinned cluster view."""
+        with self.pin() as snapshot:
+            return snapshot.quantile_many(
+                phis, mode=mode, window_steps=window_steps
+            )
+
+    # -- lifecycle ------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Validate every shard plus the cluster's lockstep contract."""
+        for shard in self.shards:
+            shard.check_invariants()
+            if shard.steps_sealed != self._step:
+                raise AssertionError(
+                    f"shard sealed {shard.steps_sealed} steps, "
+                    f"cluster sealed {self._step}"
+                )
+
+    def close(self) -> None:
+        """Close every shard and the query executor (errors deferred)."""
+        first_error: Optional[BaseException] = None
+        for shard in self.shards:
+            try:
+                shard.close()
+            except BaseException as exc:  # noqa: BLE001 - close all first
+                if first_error is None:
+                    first_error = exc
+        self._executor.close()
+        if first_error is not None:
+            raise first_error
+
+    def __enter__(self) -> "ClusterEngine":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

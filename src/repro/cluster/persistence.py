@@ -1,0 +1,99 @@
+"""Cluster durability: per-shard checkpoints plus one manifest.
+
+A cluster checkpoint is N independent engine checkpoints (one
+``shard-XX/`` directory each, written by the crash-consistent
+:func:`~repro.persistence.checkpoint.save_engine`) plus a
+``cluster.json`` manifest recording the shard count, the router (so
+restored ingest routes identically) and the engine config.  The
+manifest is staged to a temp file and committed with one rename
+*after* every shard directory exists, so a crash mid-save leaves
+either a complete previous checkpoint or a complete new one — the
+same discipline the per-engine checkpoint follows internally.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+from typing import List
+
+from ..core.config import EngineConfig
+from ..persistence.checkpoint import load_engine, save_engine
+from ..persistence.warehouse_store import PersistenceError
+from .engine import ClusterEngine
+from .router import ShardRouter
+
+_MANIFEST_FILE = "cluster.json"
+_CLUSTER_FORMAT = "repro-cluster-v1"
+
+
+def _shard_dir(root: Path, index: int) -> Path:
+    return root / f"shard-{index:02d}"
+
+
+def save_cluster(cluster: ClusterEngine, directory: "str | Path") -> Path:
+    """Checkpoint every shard under ``directory``; returns its path.
+
+    Layout: ``shard-00/ .. shard-NN/`` (each a full engine checkpoint)
+    plus ``cluster.json``.  The manifest is written last, atomically,
+    so its presence certifies that every shard directory is complete.
+    """
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    for index, shard in enumerate(cluster.shards):
+        save_engine(shard, _shard_dir(root, index))
+    manifest = {
+        "format": _CLUSTER_FORMAT,
+        "shards": cluster.num_shards,
+        "router": cluster.router.to_manifest(),
+        "config": dataclasses.asdict(cluster.config),
+        "step": cluster.steps_sealed,
+    }
+    tmp = root / (_MANIFEST_FILE + ".tmp")
+    tmp.write_text(json.dumps(manifest, indent=2))
+    os.replace(tmp, root / _MANIFEST_FILE)
+    return root
+
+
+def load_cluster(directory: "str | Path") -> ClusterEngine:
+    """Restore a cluster checkpointed by :func:`save_cluster`.
+
+    Rebuilds the router and config from the manifest, restores each
+    shard engine from its own directory (each on a fresh simulated
+    disk, as at construction) and reassembles the facade with the
+    lockstep step counter intact.
+    """
+    root = Path(directory)
+    manifest_path = root / _MANIFEST_FILE
+    if not manifest_path.exists():
+        raise PersistenceError(f"no cluster manifest in {root}")
+    manifest = json.loads(manifest_path.read_text())
+    if manifest.get("format") != _CLUSTER_FORMAT:
+        raise PersistenceError(
+            f"unknown cluster format {manifest.get('format')!r}"
+        )
+    shards = int(manifest["shards"])
+    config = EngineConfig(**manifest["config"])
+    router = ShardRouter.from_manifest(manifest["router"])
+    engines = []
+    for index in range(shards):
+        shard_dir = _shard_dir(root, index)
+        if not shard_dir.exists():
+            raise PersistenceError(
+                f"manifest names {shards} shards but {shard_dir} is missing"
+            )
+        engines.append(load_engine(shard_dir))
+    cluster = ClusterEngine(
+        shards=shards, config=config, router=router, engines=engines
+    )
+    cluster._step = int(manifest["step"])
+    return cluster
+
+
+def list_shard_dirs(directory: "str | Path") -> List[Path]:
+    """The checkpoint's shard directories, in shard order."""
+    root = Path(directory)
+    manifest = json.loads((root / _MANIFEST_FILE).read_text())
+    return [_shard_dir(root, i) for i in range(int(manifest["shards"]))]

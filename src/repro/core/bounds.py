@@ -54,19 +54,41 @@ class CombinedSummary:
     def build(
         cls,
         partition_summaries: Sequence[PartitionSummary],
-        stream_summary: StreamSummary,
+        stream_summary: "StreamSummary | Sequence[StreamSummary]",
     ) -> "CombinedSummary":
-        """Merge HS and SS into TS and compute all bounds."""
+        """Merge HS and SS into TS and compute all bounds.
+
+        ``stream_summary`` may be a single :class:`StreamSummary` (the
+        single-engine path — bit-identical to the historical code) or a
+        sequence of them (the cluster's fused path: one SS per shard).
+        Rank bounds are additive across components, so each stream
+        summary simply contributes its own Lemma 2 terms and the fused
+        error is ``eps1 * sum(n_P) + eps2 * sum(m_s)`` — the same
+        contract over the union stream.
+        """
+        if isinstance(stream_summary, StreamSummary):
+            stream_summaries = [stream_summary]
+        else:
+            stream_summaries = list(stream_summary)
         histories = [s for s in partition_summaries if len(s) > 0]
         parts = [s.values for s in histories]
         flags = [np.zeros(len(s), dtype=bool) for s in histories]
-        if not stream_summary.is_empty:
-            parts.append(stream_summary.values)
-            flags.append(np.ones(len(stream_summary), dtype=bool))
+        # Per-element origin: -1 for historical entries, the stream
+        # summary's index otherwise (an element's *own* summary uses
+        # the tighter Lemma 1 coefficient below).
+        origins = [np.full(len(s), -1, dtype=np.int64) for s in histories]
+        for s_index, summary in enumerate(stream_summaries):
+            if not summary.is_empty:
+                parts.append(summary.values)
+                flags.append(np.ones(len(summary), dtype=bool))
+                origins.append(
+                    np.full(len(summary), s_index, dtype=np.int64)
+                )
         if not parts:
             raise ValueError("cannot summarize an empty dataset")
         values = np.concatenate(parts)
         stream_mask = np.concatenate(flags)
+        origin = np.concatenate(origins)
         # Sort by value; on ties, stream entries first.  (A stream
         # entry's upper bound uses coefficient alpha_S while an equal
         # historical value uses alpha_S + 1, so this tie order keeps
@@ -74,6 +96,7 @@ class CombinedSummary:
         order = np.lexsort((np.where(stream_mask, 0, 1), values))
         values = values[order]
         stream_mask = stream_mask[order]
+        origin = origin[order]
 
         lower = np.zeros(len(values), dtype=np.float64)
         upper = np.zeros(len(values), dtype=np.float64)
@@ -99,31 +122,39 @@ class CombinedSummary:
             upper += np.where(
                 present, np.maximum(alphas * scale, exact_next), 0.0
             )
-        m = stream_summary.stream_size
-        if m > 0:
-            alphas = np.searchsorted(stream_summary.values, values, side="right")
-            scale = stream_summary.eps2 * m
+        for s_index, summary in enumerate(stream_summaries):
+            m = summary.stream_size
+            if m <= 0:
+                continue
+            alphas = np.searchsorted(summary.values, values, side="right")
+            scale = summary.eps2 * m
             present = alphas > 0
             lower += np.where(
                 present, np.minimum((alphas - 1) * scale, m), 0.0
             )
-            if stream_summary.strict_uppers is not None:
+            if summary.strict_uppers is not None:
                 # Provable bracket from the GK extraction: everything
                 # at most TS[i] precedes the next strictly greater
                 # summary entry.
-                count = len(stream_summary.values)
+                count = len(summary.values)
                 idx = np.minimum(alphas, count - 1)
                 bound = np.where(
                     alphas < count,
-                    stream_summary.strict_uppers[idx].astype(np.float64),
+                    summary.strict_uppers[idx].astype(np.float64),
                     float(m),
                 )
                 upper += np.where(present, bound, 0.0)
             else:
-                upper_coeff = np.where(stream_mask, alphas, alphas + 1)
+                # Lemma 1 applies to this summary's own entries only;
+                # every other element falls between entries and pays
+                # the + 1 coefficient.
+                own = origin == s_index
+                upper_coeff = np.where(own, alphas, alphas + 1)
                 upper += np.where(present, upper_coeff * scale, 0.0)
 
-        total = sum(s.partition_size for s in histories) + m
+        total = sum(s.partition_size for s in histories) + sum(
+            s.stream_size for s in stream_summaries
+        )
         return cls(
             values=values,
             from_stream=stream_mask,

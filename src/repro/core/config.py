@@ -111,6 +111,14 @@ class EngineConfig:
         search in one batched ranged read.  Only active when the shared
         tier is attached (``shared_cache_blocks > 0``), so legacy
         accounting is untouched when the cache is off.
+    sketch_backend:
+        Live stream-sketch implementation: ``"gk"`` (default — the
+        paper's Greenwald-Khanna sketch, deterministic ``eps``
+        guarantee) or ``"kll"`` (the mergeable Karnin-Lang-Liberty
+        compactor sketch, ``eps`` guarantee w.h.p.).  KLL is what a
+        sharded cluster needs: per-shard sketches merge without error
+        blow-up, which GK summaries cannot do.  Single-engine answers
+        remain within the same ``eps * m`` contract either way.
     """
 
     epsilon: float
@@ -134,6 +142,7 @@ class EngineConfig:
     degrade_on_fault: bool = True
     shared_cache_blocks: int = 0
     prefetch_blocks: int = 4
+    sketch_backend: str = "gk"
 
     def __post_init__(self) -> None:
         if not 0 < self.epsilon < 1:
@@ -171,6 +180,8 @@ class EngineConfig:
             raise ValueError("shared_cache_blocks must be >= 0")
         if self.prefetch_blocks < 0:
             raise ValueError("prefetch_blocks must be >= 0")
+        if self.sketch_backend not in ("gk", "kll"):
+            raise ValueError("sketch_backend must be 'gk' or 'kll'")
 
     @property
     def epsilon1(self) -> float:

@@ -62,8 +62,9 @@ from ..faults.health import ReliabilityReport
 from ..ingest import AppendBuffer, BackgroundArchiver, IngestStats, PendingBatch
 from ..ingest.archiver import ArchiveRecord
 from ..query.executor import QueryExecutor
-from ..sketches.base import rank_for_phi
+from ..sketches.base import QuantileSketch, rank_for_phi
 from ..sketches.gk import GKSketch
+from ..sketches.kll import KLLSketch
 from ..storage.cache import BlockCache
 from ..storage.disk import SimulatedDisk
 from ..storage.shared_cache import SharedBlockCache
@@ -240,10 +241,10 @@ class HybridQuantileEngine:
         # critical sections; invalidate their cached blocks in the same
         # sections so residency never outlives a run.
         self.store.on_retire = self._on_runs_retired
+        self._step = 0
         self._gk = self._fresh_stream_sketch()
         self._buffer = AppendBuffer()
         self._m = 0
-        self._step = 0
         self._stream_stats = AggregateStats.empty()
         # Lazy absorption: stream updates only touch the buffer and the
         # aggregates under _stream_lock; _gk_absorbed counts how many
@@ -276,9 +277,14 @@ class HybridQuantileEngine:
     # Stream ingestion (Algorithm 4) and warehouse loading (Algorithm 3)
     # ------------------------------------------------------------------
 
-    def _fresh_stream_sketch(self) -> GKSketch:
-        # GK runs at eps2/2 so the extracted summary meets Lemma 1's
-        # one-sided guarantee (see StreamSummary.extract).
+    def _fresh_stream_sketch(self) -> QuantileSketch:
+        # The sketch runs at eps2/2 so the extracted summary meets
+        # Lemma 1's one-sided guarantee (see StreamSummary.extract);
+        # for KLL the guarantee holds w.h.p. rather than surely.  The
+        # KLL seed is the current step count, so a replay of the same
+        # per-step feed reproduces the sketch bit-for-bit.
+        if self.config.sketch_backend == "kll":
+            return KLLSketch(self.config.epsilon2 / 2.0, seed=self._step)
         return GKSketch(self.config.epsilon2 / 2.0)
 
     def _on_runs_retired(self, run_ids: "Sequence[int]") -> None:

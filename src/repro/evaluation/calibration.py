@@ -52,7 +52,7 @@ def calibrate_gk(
             remaining = size
             while remaining > 0:
                 chunk = min(remaining, 100_000)
-                sketch.update_batch(rng.integers(0, 10**9, chunk))
+                sketch.update_many(rng.integers(0, 10**9, chunk))
                 remaining -= chunk
             points.append(
                 CalibrationPoint(
@@ -81,7 +81,7 @@ def calibrate_qdigest(
             remaining = size
             while remaining > 0:
                 chunk = min(remaining, 100_000)
-                sketch.update_batch(
+                sketch.update_many(
                     rng.integers(0, 2**universe_log2, chunk)
                 )
                 remaining -= chunk

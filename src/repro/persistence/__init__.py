@@ -9,9 +9,13 @@ from .checkpoint import (
 from .serialization import (
     SerializationError,
     dump_gk,
+    dump_kll,
     dump_qdigest,
+    dump_sketch,
     load_gk,
+    load_kll,
     load_qdigest,
+    load_stream_sketch,
 )
 from .warehouse_store import PersistenceError, load_store, save_store
 
@@ -22,9 +26,13 @@ __all__ = [
     "save_engine",
     "SerializationError",
     "dump_gk",
+    "dump_kll",
     "dump_qdigest",
+    "dump_sketch",
     "load_gk",
+    "load_kll",
     "load_qdigest",
+    "load_stream_sketch",
     "PersistenceError",
     "load_store",
     "save_store",

@@ -52,7 +52,7 @@ from ..core.aggregates import AggregateStats
 from ..core.config import EngineConfig
 from ..core.engine import HybridQuantileEngine
 from ..storage.disk import SimulatedDisk
-from .serialization import dump_gk, load_gk
+from .serialization import dump_sketch, load_stream_sketch
 from .warehouse_store import (
     PersistenceError,
     fsync_dir,
@@ -159,7 +159,9 @@ def save_engine(engine: HybridQuantileEngine, directory: "str | Path") -> Path:
     )
     # stream_sketch() absorbs any buffered-but-unabsorbed tail first,
     # so the saved sketch count always equals the saved buffer size.
-    (stage / SKETCH_FILE).write_bytes(dump_gk(engine.stream_sketch()))
+    (stage / SKETCH_FILE).write_bytes(
+        dump_sketch(engine.stream_sketch())
+    )
     np.save(stage / BUFFER_FILE, np.asarray(engine._buffer.view()))
     _reach("mid-stage")
     state = {
@@ -278,7 +280,9 @@ def load_engine(
     # The store was replaced after construction: re-wire the retirement
     # hook so compaction merges keep invalidating the shared cache.
     engine.store.on_retire = engine._on_runs_retired
-    engine._gk = load_gk((directory / SKETCH_FILE).read_bytes())
+    engine._gk = load_stream_sketch(
+        (directory / SKETCH_FILE).read_bytes()
+    )
     buffer = np.load(directory / BUFFER_FILE)
     engine._buffer.extend(buffer)
     engine._stream_stats = AggregateStats.of_array(buffer)

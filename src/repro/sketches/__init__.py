@@ -1,8 +1,9 @@
-"""Streaming quantile sketches: GK, Q-Digest, RANDOM, and an exact oracle."""
+"""Streaming quantile sketches: GK, KLL, Q-Digest, RANDOM, and an exact oracle."""
 
 from .base import QuantileSketch, clamp_rank, rank_for_phi
 from .exact import ExactQuantiles
 from .gk import GKSketch
+from .kll import KLLSketch
 from .mrl import MRL99Sketch
 from .qdigest import QDigestSketch
 from .random_sampler import RandomSamplerSketch
@@ -13,6 +14,7 @@ __all__ = [
     "rank_for_phi",
     "ExactQuantiles",
     "GKSketch",
+    "KLLSketch",
     "MRL99Sketch",
     "QDigestSketch",
     "RandomSamplerSketch",

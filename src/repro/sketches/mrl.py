@@ -22,6 +22,7 @@ rank error is at most ``eps * n`` with probability ``1 - delta``.
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional
 
@@ -125,7 +126,7 @@ class MRL99Sketch(QuantileSketch):
         if len(self._pending) >= self.buffer_size:
             self._seal_pending()
 
-    def update_batch(self, values: Iterable[int]) -> None:
+    def update_many(self, values: Iterable[int]) -> None:
         """Process many elements at once.
 
         Deliberately element-wise: the sampling state (skip debt,
@@ -133,8 +134,18 @@ class MRL99Sketch(QuantileSketch):
         little benefit — the sketch touches only every 2^L-th element
         once levels grow.
         """
-        for value in values:
+        for value in np.asarray(values, dtype=np.int64).ravel():
             self.update(int(value))
+
+    def update_batch(self, values: Iterable[int]) -> None:
+        """Deprecated alias for :meth:`update_many`."""
+        warnings.warn(
+            "MRL99Sketch.update_batch is deprecated; "
+            "use update_many (the protocol-standard name)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.update_many(np.fromiter((int(v) for v in values), np.int64))
 
     def _seal_pending(self) -> None:
         """Promote the filled working buffer and collapse if needed."""

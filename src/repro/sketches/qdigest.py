@@ -13,6 +13,7 @@ second pure-streaming baseline in every accuracy figure.
 from __future__ import annotations
 
 import math
+import warnings
 from collections import defaultdict
 from typing import Dict, Iterable, List, Tuple
 
@@ -67,8 +68,8 @@ class QDigestSketch(QuantileSketch):
         if len(self._counts) > self._max_nodes:
             self._compress()
 
-    def update_batch(self, values: Iterable[int]) -> None:
-        """Process many elements at once."""
+    def update_many(self, values: Iterable[int]) -> None:
+        """Process many elements at once (bulk count via np.unique)."""
         arr = np.asarray(list(values) if not isinstance(values, np.ndarray) else values)
         if arr.size == 0:
             return
@@ -81,6 +82,16 @@ class QDigestSketch(QuantileSketch):
         self._n += int(arr.size)
         if len(self._counts) > self._max_nodes:
             self._compress()
+
+    def update_batch(self, values: Iterable[int]) -> None:
+        """Deprecated alias for :meth:`update_many`."""
+        warnings.warn(
+            "QDigestSketch.update_batch is deprecated; "
+            "use update_many (the protocol-standard name)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.update_many(values)
 
     def _threshold(self) -> int:
         return max(1, math.floor(self.epsilon * self._n / self.universe_log2))

@@ -1,0 +1,125 @@
+"""ShardRouter: determinism, balance, order preservation, manifests."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ShardRouter
+
+
+class TestValidation:
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ValueError):
+            ShardRouter(0)
+
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            ShardRouter(2, strategy="roundrobin")
+
+    def test_range_needs_matching_bounds(self):
+        with pytest.raises(ValueError):
+            ShardRouter(3, strategy="range", bounds=[10])
+        with pytest.raises(ValueError):
+            ShardRouter(3, strategy="range", bounds=[20, 10])
+        with pytest.raises(ValueError):
+            ShardRouter(2, strategy="hash", bounds=[10])
+
+
+class TestHashRouting:
+    def test_deterministic(self):
+        router = ShardRouter(4)
+        values = np.random.default_rng(1).integers(0, 2**40, 10_000)
+        first = router.shard_indices(values)
+        second = router.shard_indices(values)
+        assert np.array_equal(first, second)
+        for value in values[:50]:
+            assert router.shard_of(int(value)) == first[
+                int(np.flatnonzero(values == value)[0])
+            ]
+
+    def test_statistically_balanced(self):
+        router = ShardRouter(4)
+        values = np.random.default_rng(2).integers(0, 2**40, 40_000)
+        counts = np.bincount(router.shard_indices(values), minlength=4)
+        assert counts.min() > 0.8 * counts.max()
+
+    def test_sequential_values_spread(self):
+        # The splitmix finalizer must break up runs of consecutive ints
+        # (timestamps, auto-increment ids).
+        router = ShardRouter(8)
+        counts = np.bincount(
+            router.shard_indices(np.arange(8_000)), minlength=8
+        )
+        assert counts.min() > 0.7 * counts.max()
+
+    def test_single_shard_short_circuit(self):
+        router = ShardRouter(1)
+        values = np.arange(100)
+        assert np.array_equal(
+            router.shard_indices(values), np.zeros(100, dtype=np.int64)
+        )
+        chunks = router.route_many(values)
+        assert len(chunks) == 1
+        assert np.array_equal(chunks[0], values)
+
+    def test_negative_values_route(self):
+        router = ShardRouter(4)
+        indices = router.shard_indices(
+            np.asarray([-1, -(2**40), 0, 5], dtype=np.int64)
+        )
+        assert np.all((indices >= 0) & (indices < 4))
+
+
+class TestRangeRouting:
+    def test_partitions_by_bounds(self):
+        router = ShardRouter(3, strategy="range", bounds=[100, 200])
+        values = np.asarray([-5, 50, 100, 150, 200, 250])
+        assert router.shard_indices(values).tolist() == [0, 0, 0, 1, 1, 2]
+
+    def test_route_many_preserves_order(self):
+        router = ShardRouter(2, strategy="range", bounds=[10])
+        values = np.asarray([5, 20, 3, 30, 7, 15])
+        low, high = router.route_many(values)
+        assert low.tolist() == [5, 3, 7]
+        assert high.tolist() == [20, 30, 15]
+
+
+class TestRouteMany:
+    def test_fan_out_is_a_partition(self):
+        router = ShardRouter(4)
+        values = np.random.default_rng(3).integers(0, 2**32, 5_000)
+        chunks = router.route_many(values)
+        assert sum(chunk.size for chunk in chunks) == values.size
+        assert np.array_equal(
+            np.sort(np.concatenate(chunks)), np.sort(values)
+        )
+        indices = router.shard_indices(values)
+        for shard, chunk in enumerate(chunks):
+            assert np.array_equal(chunk, values[indices == shard])
+
+
+class TestManifest:
+    @pytest.mark.parametrize(
+        "router",
+        [
+            ShardRouter(1),
+            ShardRouter(8),
+            ShardRouter(3, strategy="range", bounds=[1000, 2000]),
+        ],
+        ids=["one", "hash8", "range3"],
+    )
+    def test_round_trip(self, router):
+        clone = ShardRouter.from_manifest(router.to_manifest())
+        assert clone.shards == router.shards
+        assert clone.strategy == router.strategy
+        values = np.random.default_rng(4).integers(0, 2**30, 2_000)
+        assert np.array_equal(
+            clone.shard_indices(values), router.shard_indices(values)
+        )
+
+    def test_manifest_is_json_safe(self):
+        import json
+
+        manifest = ShardRouter(
+            3, strategy="range", bounds=[10, 20]
+        ).to_manifest()
+        assert json.loads(json.dumps(manifest)) == manifest

@@ -21,7 +21,7 @@ def filled_gk(eps=0.01, n=20_000, seed=0):
 
 def filled_qdigest(eps=0.02, n=20_000, seed=1):
     sketch = QDigestSketch(eps, universe_log2=20)
-    sketch.update_batch(np.random.default_rng(seed).integers(0, 2**20, n))
+    sketch.update_many(np.random.default_rng(seed).integers(0, 2**20, n))
     return sketch
 
 

@@ -37,25 +37,25 @@ class TestBasics:
 
     def test_n_counts_all_elements(self):
         sketch = MRL99Sketch(buffer_size=10, num_buffers=3, seed=0)
-        sketch.update_batch(range(1000))
+        sketch.update_many(range(1000))
         assert sketch.n == 1000
 
     def test_deterministic_with_seed(self):
         data = np.random.default_rng(0).integers(0, 10**6, 20_000)
         a = MRL99Sketch(buffer_size=100, num_buffers=5, seed=7)
         b = MRL99Sketch(buffer_size=100, num_buffers=5, seed=7)
-        a.update_batch(data)
-        b.update_batch(data)
+        a.update_many(data)
+        b.update_many(data)
         assert a.query_rank(10_000) == b.query_rank(10_000)
 
     def test_buffer_count_bounded(self):
         sketch = MRL99Sketch(buffer_size=50, num_buffers=5, seed=1)
-        sketch.update_batch(np.random.default_rng(1).integers(0, 100, 50_000))
+        sketch.update_many(np.random.default_rng(1).integers(0, 100, 50_000))
         assert len(sketch._buffers) < 5
 
     def test_memory_sublinear(self):
         sketch = MRL99Sketch.for_epsilon(0.01, seed=2)
-        sketch.update_batch(
+        sketch.update_many(
             np.random.default_rng(2).integers(0, 10**9, 100_000)
         )
         assert sketch.memory_words() < 100_000 / 10
@@ -67,7 +67,7 @@ class TestAccuracy:
         epsilon = 0.05
         sketch = MRL99Sketch.for_epsilon(epsilon, seed=seed)
         data = np.random.default_rng(seed).integers(0, 10**9, 50_000)
-        sketch.update_batch(data)
+        sketch.update_many(data)
         n = len(data)
         for target in (1, n // 4, n // 2, 3 * n // 4, n):
             value = sketch.query_rank(target)
@@ -79,7 +79,7 @@ class TestAccuracy:
         epsilon = 0.05
         sketch = MRL99Sketch.for_epsilon(epsilon, seed=6)
         data = np.arange(50_000)
-        sketch.update_batch(data)
+        sketch.update_many(data)
         for target in (1, 12_500, 25_000, 37_500, 50_000):
             value = sketch.query_rank(target)
             err = rank_interval_error(data, value, target)
@@ -88,6 +88,6 @@ class TestAccuracy:
     def test_duplicate_heavy_stream(self):
         sketch = MRL99Sketch.for_epsilon(0.05, seed=8)
         data = np.random.default_rng(8).integers(0, 20, 30_000)
-        sketch.update_batch(data)
+        sketch.update_many(data)
         value = sketch.query_rank(15_000)
         assert rank_interval_error(data, value, 15_000) <= 3 * 0.05 * 30_000

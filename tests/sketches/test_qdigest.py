@@ -51,7 +51,7 @@ class TestBasics:
     def test_rejects_out_of_universe_batch(self):
         sketch = QDigestSketch(0.1, universe_log2=4)
         with pytest.raises(ValueError):
-            sketch.update_batch(np.asarray([1, 2, 99]))
+            sketch.update_many(np.asarray([1, 2, 99]))
 
     def test_empty_query_raises(self):
         with pytest.raises(ValueError):
@@ -64,13 +64,13 @@ class TestBasics:
 
     def test_n_counts(self):
         sketch = QDigestSketch(0.1, universe_log2=8)
-        sketch.update_batch(np.arange(100))
+        sketch.update_many(np.arange(100))
         sketch.update(5)
         assert sketch.n == 101
 
     def test_memory_words(self):
         sketch = QDigestSketch(0.1, universe_log2=8)
-        sketch.update_batch(np.arange(200))
+        sketch.update_many(np.arange(200))
         assert sketch.memory_words() == 2 * sketch.node_count() + 4
 
 
@@ -79,7 +79,7 @@ class TestCompression:
         sketch = QDigestSketch(0.05, universe_log2=16)
         rng = np.random.default_rng(0)
         for _ in range(20):
-            sketch.update_batch(rng.integers(0, 2**16, 5000))
+            sketch.update_many(rng.integers(0, 2**16, 5000))
         # compressed bound is O(log(U)/eps); allow the 2x lazy slack
         assert sketch.node_count() <= sketch._max_nodes
 
@@ -87,7 +87,7 @@ class TestCompression:
         sketch = QDigestSketch(0.05, universe_log2=12)
         rng = np.random.default_rng(1)
         data = rng.integers(0, 2**12, 50_000)
-        sketch.update_batch(data)
+        sketch.update_many(data)
         assert sum(sketch._counts.values()) == len(data)
 
 
@@ -96,14 +96,14 @@ class TestAccuracy:
         sketch = QDigestSketch(0.05, universe_log2=16)
         rng = np.random.default_rng(2)
         data = rng.integers(0, 2**16, 20_000)
-        sketch.update_batch(data)
+        sketch.update_many(data)
         assert_qdigest_guarantee(sketch, data, ranks=range(1, 20_001, 997))
 
     def test_skewed(self):
         sketch = QDigestSketch(0.05, universe_log2=20)
         rng = np.random.default_rng(3)
         data = np.minimum(rng.zipf(1.3, 20_000), 2**20 - 1)
-        sketch.update_batch(data)
+        sketch.update_many(data)
         assert_qdigest_guarantee(sketch, data)
 
     def test_elementwise_matches_guarantee(self):
@@ -116,7 +116,7 @@ class TestAccuracy:
 
     def test_all_equal(self):
         sketch = QDigestSketch(0.1, universe_log2=10)
-        sketch.update_batch(np.full(1000, 77))
+        sketch.update_many(np.full(1000, 77))
         assert sketch.query_rank(500) == 77
 
 
@@ -128,5 +128,5 @@ class TestQDigestProperty:
     @settings(max_examples=50, deadline=None)
     def test_guarantee_holds(self, data, eps):
         sketch = QDigestSketch(eps, universe_log2=10)
-        sketch.update_batch(np.asarray(data, dtype=np.int64))
+        sketch.update_many(np.asarray(data, dtype=np.int64))
         assert_qdigest_guarantee(sketch, data)

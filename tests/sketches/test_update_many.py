@@ -1,11 +1,16 @@
 """Every sketch accepts numpy batches through ``update_many``.
 
-GK and the exact oracle override it with bulk fast paths; MRL,
-Q-Digest and the sampler inherit the base-protocol per-element loop.
-Either way, feeding an array through ``update_many`` must be
+GK, KLL, Q-Digest and the exact oracle override it with bulk fast
+paths; MRL and the sampler run the per-element loop under the standard
+name.  Either way, feeding an array through ``update_many`` must be
 indistinguishable from replaying it element by element (deterministic
 sketches: identical state; seeded randomized sketches: identical
 because the element order and RNG draws coincide).
+
+``update_batch`` remains on every sketch: the base-protocol iterable
+entry point for GK/exact/sampler, and a deprecated alias (with a
+``DeprecationWarning``) on MRL and Q-Digest, whose bulk paths now
+carry the protocol-standard ``update_many`` name.
 """
 
 import numpy as np
@@ -13,6 +18,7 @@ import pytest
 
 from repro.sketches.exact import ExactQuantiles
 from repro.sketches.gk import GKSketch
+from repro.sketches.kll import KLLSketch
 from repro.sketches.mrl import MRL99Sketch
 from repro.sketches.qdigest import QDigestSketch
 from repro.sketches.random_sampler import RandomSamplerSketch
@@ -27,6 +33,7 @@ def scalar_fed(sketch, values):
 def make_all():
     return {
         "gk": lambda: GKSketch(0.01),
+        "kll": lambda: KLLSketch(0.01, seed=5),
         "exact": lambda: ExactQuantiles(),
         "mrl": lambda: MRL99Sketch(buffer_size=64, num_buffers=4, seed=5),
         "qdigest": lambda: QDigestSketch(0.05, universe_log2=20),
@@ -85,3 +92,48 @@ def test_gk_query_ranks_matches_scalar_queries():
         [sketch.query_rank(int(t)) for t in targets], dtype=np.int64
     )
     assert np.array_equal(vectorized, scalar)
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda: MRL99Sketch(buffer_size=64, num_buffers=4, seed=5),
+        lambda: QDigestSketch(0.05, universe_log2=20),
+    ],
+    ids=["mrl", "qdigest"],
+)
+def test_update_batch_is_deprecated_alias(factory):
+    rng = np.random.default_rng(31)
+    values = rng.integers(0, 2**18, size=300)
+    via_many = factory()
+    via_many.update_many(values)
+    via_alias = factory()
+    with pytest.deprecated_call():
+        via_alias.update_batch(values)
+    assert via_alias.n == via_many.n == 300
+    for rank in (1, 50, 150, 300):
+        assert via_alias.query_rank(rank) == via_many.query_rank(rank)
+
+
+def test_update_batch_alias_accepts_plain_iterables():
+    values = [5, 1, 4, 2, 3] * 20
+    sketch = QDigestSketch(0.05, universe_log2=20)
+    with pytest.deprecated_call():
+        sketch.update_batch(iter(values))
+    assert sketch.n == 100
+    mrl = MRL99Sketch(buffer_size=16, num_buffers=4, seed=1)
+    with pytest.deprecated_call():
+        mrl.update_batch(iter(values))
+    assert mrl.n == 100
+
+
+def test_base_protocol_update_batch_not_deprecated(recwarn):
+    sketch = GKSketch(0.01)
+    sketch.update_batch([3, 1, 2])
+    oracle = ExactQuantiles()
+    oracle.update_batch([3, 1, 2])
+    deprecations = [
+        w for w in recwarn.list if issubclass(w.category, DeprecationWarning)
+    ]
+    assert not deprecations
+    assert sketch.n == oracle.n == 3

@@ -31,7 +31,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Directories whose public API must be fully docstringed.
-DOCSTRING_SCOPES = ("src/repro/core", "src/repro/serving")
+DOCSTRING_SCOPES = ("src/repro/core", "src/repro/serving", "src/repro/cluster")
 
 #: Markdown trees the link checker walks.
 MARKDOWN_SCOPES = ("docs", "README.md", "CHANGES.md")
