@@ -1,0 +1,216 @@
+"""Ablation A12: chaos — shard kill/recovery under the durability WAL.
+
+Drives the A11 cluster topology (Normal stream, kll backend) through a
+seeded chaos schedule at shards in {4, 16}:
+
+* step 0 is checkpointed (``save_cluster``), then a FAULTS_SEED-chosen
+  victim shard is killed mid-run;
+* ingest continues while the victim is quarantined — those acks are
+  banked in the per-shard WAL;
+* mid-outage queries return *partial* answers whose observed rank error
+  must stay inside the widened bound (base + missing elements, +2 rank
+  rounding slack);
+* a ``ShardSupervisor`` restores the victim from checkpoint + WAL
+  replay, and the final answers must be bit-identical to a never-failed
+  cluster fed the same stream;
+* the disabled-faults cell (same WAL-attached cluster, no kill) must be
+  bit-identical to a plain cluster without any durability machinery.
+
+``FAULTS_SEED`` (default 0) picks the victim and the kill step, so the
+CI chaos matrix sweeps genuinely different schedules.  The table is
+written to ``BENCH_chaos.json`` next to this file; the CI chaos job
+regenerates and uploads it.
+"""
+
+import os
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from common import SCALE, bench_path, show, write_bench
+from conftest import run_once
+from repro.cluster import ClusterEngine, ShardSupervisor, save_cluster
+from repro.core.config import EngineConfig
+from repro.faults.retry import RetryPolicy
+from repro.workloads import NormalWorkload
+
+PHIS = (0.05, 0.25, 0.5, 0.75, 0.95)
+SHARDS = (4, 16)
+STEPS = 5
+STEP_ELEMS = int(20_000 * SCALE)
+EPSILON = 0.02
+BACKEND = "kll"
+FAULTS_SEED = int(os.environ.get("FAULTS_SEED", "0"))
+RESULT_FILE = bench_path("chaos")
+
+
+def make_config(shards):
+    return EngineConfig(
+        epsilon=EPSILON,
+        block_elems=100,
+        sketch_backend=BACKEND,
+        # Any single-shard outage keeps quorum at every swept width.
+        min_gather_shards=shards - 1,
+    )
+
+
+def make_feeds():
+    workload = NormalWorkload(seed=808)
+    return [workload.generate(STEP_ELEMS) for _ in range(STEPS)]
+
+
+def chaos_schedule(shards):
+    """FAULTS_SEED picks the victim and the (post-checkpoint) kill step."""
+    rng = np.random.default_rng((FAULTS_SEED << 8) ^ shards)
+    victim = int(rng.integers(0, shards))
+    kill_after_step = int(rng.integers(1, STEPS - 1))
+    return victim, kill_after_step
+
+
+def rank_error(full, result, phi):
+    target = max(1, int(np.ceil(phi * len(full))))
+    lo = int(np.searchsorted(full, result.value, side="left")) + 1
+    hi = int(np.searchsorted(full, result.value, side="right"))
+    if lo <= target <= hi:
+        return 0
+    return min(abs(target - lo), abs(target - hi))
+
+
+def run_plain(shards, feeds):
+    """The no-faults reference: no WAL, no kills, plain scatter/gather."""
+    cluster = ClusterEngine(shards=shards, config=make_config(shards))
+    for feed in feeds:
+        cluster.stream_update_many(feed)
+        cluster.end_time_step()
+    answers = [cluster.quantile(phi).value for phi in PHIS]
+    cluster.close()
+    return answers
+
+
+def run_durable(shards, feeds, root, chaos):
+    """One WAL-attached run; optionally kill + recover the victim."""
+    config = make_config(shards)
+    cluster = ClusterEngine(
+        shards=shards, config=config, wal_dir=root / "wal"
+    )
+    victim, kill_after_step = chaos_schedule(shards)
+    row = {
+        "shards": shards,
+        "faults_seed": FAULTS_SEED,
+        "chaos": chaos,
+        "victim": victim if chaos else None,
+        "kill_after_step": kill_after_step if chaos else None,
+    }
+    fed = []
+    for step, feed in enumerate(feeds):
+        cluster.stream_update_many(feed)
+        cluster.end_time_step()
+        fed.append(feed)
+        if step == 0:
+            save_cluster(cluster, root / "ckpt")
+        if chaos and step == kill_after_step:
+            cluster.kill_shard(victim, "chaos kill")
+        if chaos and step == kill_after_step + 1:
+            # Mid-outage: partial answers, widened-bound soundness.
+            full = np.sort(np.concatenate(fed))
+            worst_excess = -float("inf")
+            for phi in PHIS:
+                result = cluster.quantile(phi, mode="accurate")
+                partial = result.partial
+                assert partial is not None
+                assert partial.missing_shards == (victim,)
+                error = rank_error(full, result, phi)
+                worst_excess = max(
+                    worst_excess, error - result.rank_error_bound
+                )
+                assert error <= result.rank_error_bound + 2, (
+                    shards, phi, error, result.rank_error_bound,
+                )
+            row["banked_elements"] = int(cluster.n_acked - cluster.n_total)
+            row["worst_partial_excess"] = worst_excess
+            supervisor = ShardSupervisor(
+                cluster,
+                root / "ckpt",
+                retry=RetryPolicy(max_retries=3, backoff_seconds=0.05),
+            )
+            supervisor.run_until_settled()
+            assert cluster.quarantined_shards == {}
+            row["recovery_events"] = [
+                event.as_dict() for event in supervisor.events
+            ]
+    cluster.check_invariants()
+    row["answers"] = [cluster.quantile(phi).value for phi in PHIS]
+    assert cluster.quantile(0.5).partial is None  # full gather again
+    cluster.close()
+    return row
+
+
+def drive(shards):
+    feeds = make_feeds()
+    reference = run_plain(shards, feeds)
+    with tempfile.TemporaryDirectory() as tmp:
+        chaos_row = run_durable(shards, feeds, Path(tmp) / "chaos", True)
+        quiet_row = run_durable(shards, feeds, Path(tmp) / "quiet", False)
+    # Recovery restores bit-identical answers; the disabled-faults cell
+    # shows the durability machinery itself changes nothing.
+    chaos_row["identical_to_reference"] = chaos_row["answers"] == reference
+    quiet_row["identical_to_reference"] = quiet_row["answers"] == reference
+    assert chaos_row["identical_to_reference"], (
+        shards, chaos_row["answers"], reference,
+    )
+    assert quiet_row["identical_to_reference"], (
+        shards, quiet_row["answers"], reference,
+    )
+    return [chaos_row, quiet_row]
+
+
+def sweep():
+    rows = []
+    for shards in SHARDS:
+        rows.extend(drive(shards))
+    return rows
+
+
+def test_ablation_chaos(benchmark):
+    rows = run_once(benchmark, sweep)
+    show(
+        f"Ablation A12: chaos recovery (Normal, {STEPS} steps x "
+        f"{STEP_ELEMS:,} elements, kll, FAULTS_SEED={FAULTS_SEED})",
+        ["shards", "chaos", "victim", "banked", "partial excess", "final"],
+        [
+            [
+                r["shards"],
+                "kill+recover" if r["chaos"] else "disabled",
+                r["victim"] if r["chaos"] else "-",
+                r.get("banked_elements", 0),
+                r.get("worst_partial_excess", "-"),
+                "bit-identical" if r["identical_to_reference"] else "DRIFT",
+            ]
+            for r in rows
+        ],
+    )
+    write_bench(
+        "chaos",
+        {
+            "benchmark": "chaos_ablation",
+            "meta": {
+                "steps": STEPS,
+                "step_elems": STEP_ELEMS,
+                "epsilon": EPSILON,
+                "phis": list(PHIS),
+                "faults_seed": FAULTS_SEED,
+                "shards": max(SHARDS),
+                "shards_swept": list(SHARDS),
+                "sketch_backend": BACKEND,
+            },
+            "rows": rows,
+        },
+    )
+    assert all(r["identical_to_reference"] for r in rows)
+    # Every chaos cell really exercised the outage path.
+    for row in rows:
+        if row["chaos"]:
+            assert row["banked_elements"] > 0, row
+            actions = [e["action"] for e in row["recovery_events"]]
+            assert "restored" in actions, row

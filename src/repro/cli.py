@@ -9,8 +9,10 @@ Operates a persistent engine checkpoint directory::
     python -m repro query  /tmp/wh --phi 0.5 --window 7
     python -m repro status /tmp/wh
     python -m repro fsck   /tmp/wh --repair            # verify checkpoint
+    python -m repro fsck   /tmp/wh --wal /tmp/wal      # ...and the ingest WAL
     python -m repro cache-stats /tmp/wh --warm         # shared-cache counters
     python -m repro demo --steps 20                    # self-contained tour
+    python -m repro demo --shards 4                    # sharded-cluster tour
 
 ``ingest`` accepts ``.npy`` files, whitespace/newline-separated text
 files, or ``-`` for numbers on stdin.
@@ -200,6 +202,35 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
           f"{engine.m_stream:,} buffered stream elements"
           + (" (repair mode)" if args.repair else ""))
     engine.close()
+    if args.wal is not None:
+        return _fsck_wal(args)
+    return 0
+
+
+def _fsck_wal(args: argparse.Namespace) -> int:
+    """Validate (and with ``--repair`` salvage) an ingest WAL."""
+    from .ingest.wal import WalError, scan_wal
+
+    state = json.loads(
+        (Path(args.warehouse) / "engine.json").read_text(encoding="utf-8")
+    )
+    watermark = int(state.get("wal_lsn", 0))
+    try:
+        scan = scan_wal(args.wal, salvage=args.repair)
+    except WalError as exc:
+        print(f"error: WAL corrupt: {exc} "
+              "(rerun with --repair to truncate at the damage)",
+              file=sys.stderr)
+        return 1
+    batches = sum(1 for r in scan.records if r.kind == "batch")
+    seals = sum(1 for r in scan.records if r.kind == "seal")
+    pending = sum(1 for r in scan.records if r.lsn > watermark)
+    print(f"WAL OK: {scan.segments} segments, "
+          f"{batches} batch frames, {seals} seal frames, "
+          f"last LSN {scan.last_lsn} "
+          f"(checkpoint watermark {watermark}, "
+          f"{pending} records pending replay)"
+          + (" [torn tail]" if scan.torn_tail else ""))
     return 0
 
 
@@ -317,7 +348,10 @@ def _cmd_demo_cluster(args: argparse.Namespace) -> int:
         query_workers=args.query_workers,
         sketch_backend=args.sketch_backend,
     )
-    cluster = ClusterEngine(shards=args.shards, config=config)
+    plan = _fault_plan_of(args)
+    cluster = ClusterEngine(
+        shards=args.shards, config=config, fault_plan=plan
+    )
     workload = NormalWorkload(seed=7)
     update_batch = (
         args.batch_size if args.batch_size and args.batch_size > 0 else None
@@ -325,6 +359,16 @@ def _cmd_demo_cluster(args: argparse.Namespace) -> int:
     print(f"demo: {args.steps} steps x {args.batch:,} elements over "
           f"{args.shards} shards ({args.sketch_backend} sketches"
           + (f", update batch {update_batch:,}" if update_batch else "")
+          + (
+              ", fault injection on"
+              + (
+                  f" (shards {list(plan.shard_scope)})"
+                  if plan is not None and plan.shard_scope is not None
+                  else ""
+              )
+              if plan is not None
+              else ""
+          )
           + ")")
     workload.feed(
         cluster, args.steps, args.batch, update_batch=update_batch
@@ -344,6 +388,11 @@ def _cmd_demo_cluster(args: argparse.Namespace) -> int:
               f"{report['n_historical'] + report['m_stream']:,} elems, "
               f"{report['io_total']:,} block I/Os, "
               f"{report['sim_seconds'] * 1e3:.1f} ms simulated")
+    transcript_dir = getattr(args, "fault_transcript", None)
+    if transcript_dir is not None and plan is not None:
+        written = cluster.dump_fault_transcripts(transcript_dir)
+        print(f"fault transcripts -> {transcript_dir} "
+              f"({len(written)} shards)")
     cluster.close()
     return 0
 
@@ -478,7 +527,13 @@ def build_parser() -> argparse.ArgumentParser:
     fsck.add_argument(
         "--repair", action="store_true",
         help="salvage checksum-mismatched partitions that are still "
-             "structurally valid sorted runs, rewriting the manifest",
+             "structurally valid sorted runs, rewriting the manifest; "
+             "with --wal, also truncate the log at mid-log corruption",
+    )
+    fsck.add_argument(
+        "--wal", metavar="DIR", default=None,
+        help="also validate the ingest write-ahead log in DIR against "
+             "the checkpoint's replay watermark",
     )
     fsck.set_defaults(handler=_cmd_fsck)
 
@@ -510,8 +565,9 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument(
         "--shards", type=int, default=1,
         help="run the demo over a sharded cluster of this many engines "
-             "(default 1: a single engine; fault options apply to "
-             "single-engine demos only)",
+             "(default 1: a single engine); --fault-plan may carry a "
+             "shard_scope to target specific shards, and "
+             "--fault-transcript names a directory for per-shard dumps",
     )
     demo.add_argument(
         "--sketch-backend", choices=("gk", "kll"), default="gk",

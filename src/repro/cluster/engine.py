@@ -38,22 +38,58 @@ exactly as it groups single-engine ones.
 from __future__ import annotations
 
 import time
-from typing import Dict, Iterable, List, Optional, Sequence
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
-from ..core.bounds import CombinedSummary
+from ..core.bounds import CombinedSummary, PartialResult, widen_rank_bound
 from ..core.config import EngineConfig
 from ..core.engine import HybridQuantileEngine, QueryResult, StepReport
 from ..core.epoch import SnapshotHandle
 from ..core.filters import AccurateSearch
 from ..core.summaries import StreamSummary
+from ..faults.disk import FaultyDisk
 from ..faults.errors import DiskFault
+from ..faults.plan import FaultPlan
+from ..ingest.wal import WriteAheadLog
 from ..query.executor import QueryExecutor
 from ..sketches.base import rank_for_phi
 from ..storage.cache import BlockCache
 from ..warehouse.partition import Partition
 from .router import ShardRouter
+
+
+class ClusterUnavailable(RuntimeError):
+    """Too few live shards to satisfy the gather contract."""
+
+
+class ShardErrors(RuntimeError):
+    """Multiple shards failed the same lifecycle operation.
+
+    Raised by :meth:`ClusterEngine.flush` / :meth:`ClusterEngine.close`
+    when more than one shard fails, so no shard's poison state is
+    masked by an earlier shard's exception.  ``errors`` maps shard
+    index to the exception that shard raised.
+    """
+
+    def __init__(
+        self, operation: str, errors: Mapping[int, BaseException]
+    ) -> None:
+        self.operation = operation
+        self.errors: Dict[int, BaseException] = dict(errors)
+        detail = "; ".join(
+            f"shard {index}: {type(exc).__name__}: {exc}"
+            for index, exc in sorted(self.errors.items())
+        )
+        super().__init__(
+            f"{len(self.errors)} shards failed during {operation}: {detail}"
+        )
+
+
+def shard_wal_dir(root: "str | Path", index: int) -> Path:
+    """Per-shard WAL directory (naming mirrors checkpoint shard dirs)."""
+    return Path(root) / f"shard-{index:02d}"
 
 
 class ShardedBlockCache:
@@ -65,24 +101,39 @@ class ShardedBlockCache:
     the per-shard :class:`~repro.storage.cache.BlockCache` built for
     the query, so every charge lands on the disk that actually holds
     the run — per-shard I/O accounting stays exact.
+
+    When a touch raises a :class:`~repro.faults.DiskFault`, the owning
+    shard's key is recorded in :attr:`failed_shard` before the fault
+    propagates — the culprit attribution the partial-gather retry loop
+    uses to exclude exactly the shard that failed.
     """
 
     def __init__(
         self,
-        shard_caches: Sequence[BlockCache],
+        shard_caches: "Union[Sequence[BlockCache], Mapping[int, BlockCache]]",
         run_to_shard: Dict[int, int],
     ) -> None:
-        self._caches = list(shard_caches)
+        if isinstance(shard_caches, Mapping):
+            self._caches: Dict[int, BlockCache] = dict(shard_caches)
+        else:
+            self._caches = dict(enumerate(shard_caches))
         self._run_to_shard = dict(run_to_shard)
+        #: shard key whose disk faulted a touch (None until one does).
+        self.failed_shard: Optional[int] = None
         # Prefetch gating mirrors BlockCache.shared: enabled when any
         # shard reads through a shared tier.
         self.shared = next(
-            (c.shared for c in self._caches if c.shared is not None), None
+            (
+                c.shared
+                for _, c in sorted(self._caches.items())
+                if c.shared is not None
+            ),
+            None,
         )
 
-    def _cache_for(self, run_id: int) -> BlockCache:
+    def _shard_of(self, run_id: int) -> int:
         try:
-            return self._caches[self._run_to_shard[run_id]]
+            return self._run_to_shard[run_id]
         except KeyError:
             raise KeyError(
                 f"run {run_id} is not pinned by this cluster snapshot"
@@ -90,26 +141,42 @@ class ShardedBlockCache:
 
     def touch(self, run_id: int, block: int) -> None:
         """Charge one block read against the owning shard's disk."""
-        self._cache_for(run_id).touch(run_id, block)
+        shard = self._shard_of(run_id)
+        try:
+            self._caches[shard].touch(run_id, block)
+        except DiskFault:
+            self.failed_shard = shard
+            raise
 
     def touch_range(
         self, run_id: int, first_block: int, last_block: int
     ) -> None:
         """Charge a ranged read against the owning shard's disk."""
-        self._cache_for(run_id).touch_range(run_id, first_block, last_block)
+        shard = self._shard_of(run_id)
+        try:
+            self._caches[shard].touch_range(run_id, first_block, last_block)
+        except DiskFault:
+            self.failed_shard = shard
+            raise
 
     @property
     def blocks_charged(self) -> int:
         """Total blocks charged across every shard (scatter sum)."""
-        return sum(c.blocks_charged for c in self._caches)
+        return sum(c.blocks_charged for c in self._caches.values())
 
-    def per_shard_blocks(self) -> List[int]:
-        """Blocks charged per shard — the gather side of the accounting."""
-        return [c.blocks_charged for c in self._caches]
+    def per_shard_blocks(self) -> Dict[int, int]:
+        """Blocks charged per shard key — the gather-side accounting."""
+        return {
+            shard: cache.blocks_charged
+            for shard, cache in self._caches.items()
+        }
 
     def max_blocks_per_run(self) -> int:
         """Deepest per-partition read chain across all shards."""
-        return max((c.max_blocks_per_run() for c in self._caches), default=0)
+        return max(
+            (c.max_blocks_per_run() for c in self._caches.values()),
+            default=0,
+        )
 
 
 class _FusedStreamSummary:
@@ -159,6 +226,12 @@ class ClusterSnapshot:
     :meth:`ClusterEngine.pin`): the equivalence harness constructs one
     over *standalone* engines that replayed recorded per-shard feeds
     and checks the answers match the cluster's bit for bit.
+
+    Partial gathers: ``shard_ids`` names the cluster-wide id behind
+    each handle, ``missing`` maps quarantined shard ids to their acked
+    element counts, and ``shards_total`` is the full cluster width.
+    When those are omitted (every legacy construction) the snapshot
+    behaves exactly as before — every shard answering, nothing missing.
     """
 
     def __init__(
@@ -166,12 +239,35 @@ class ClusterSnapshot:
         handles: Sequence[SnapshotHandle],
         config: EngineConfig,
         executor: QueryExecutor,
+        shard_ids: Optional[Sequence[int]] = None,
+        missing: Optional[Mapping[int, int]] = None,
+        shards_total: Optional[int] = None,
     ) -> None:
         if not handles:
             raise ValueError("a cluster snapshot needs at least one shard")
         self.handles = list(handles)
         self.config = config
         self._executor = executor
+        #: cluster-wide shard id behind each handle (handle order).
+        self.shard_ids: "tuple[int, ...]" = (
+            tuple(int(i) for i in shard_ids)
+            if shard_ids is not None
+            else tuple(range(len(self.handles)))
+        )
+        if len(self.shard_ids) != len(self.handles):
+            raise ValueError(
+                f"{len(self.shard_ids)} shard ids for "
+                f"{len(self.handles)} handles"
+            )
+        #: quarantined-at-pin shard id -> acked elements it holds.
+        self.missing: Dict[int, int] = (
+            {int(k): int(v) for k, v in missing.items()} if missing else {}
+        )
+        self.shards_total = (
+            int(shards_total)
+            if shards_total is not None
+            else len(self.handles) + len(self.missing)
+        )
         #: tuple of per-shard epochs — hashable, so the coalescer's
         #: same-epoch batching works unchanged.
         self.epoch = tuple(h.epoch for h in self.handles)
@@ -286,13 +382,31 @@ class ClusterSnapshot:
         self, shard_partitions: List[List[Partition]]
     ) -> ShardedBlockCache:
         """Per-query sharded cache over the pinned per-shard views."""
+        return self._new_cache_for(
+            range(len(self.handles)), shard_partitions
+        )
+
+    def _new_cache_for(
+        self,
+        positions: Iterable[int],
+        shard_partitions: List[List[Partition]],
+    ) -> ShardedBlockCache:
+        """Sharded cache over a subset of handle positions.
+
+        The partial-gather retry loop rebuilds the per-query cache over
+        the surviving shards only, so an excluded shard's runs are
+        unreachable (a stray touch raises ``KeyError`` rather than
+        silently re-faulting).
+        """
+        positions = list(positions)
         run_to_shard = {
-            p.run.run_id: shard
-            for shard, parts in enumerate(shard_partitions)
-            for p in parts
+            p.run.run_id: pos
+            for pos in positions
+            for p in shard_partitions[pos]
         }
         return ShardedBlockCache(
-            [h._new_cache() for h in self.handles], run_to_shard
+            {pos: self.handles[pos]._new_cache() for pos in positions},
+            run_to_shard,
         )
 
     # -- queries --------------------------------------------------------
@@ -313,75 +427,156 @@ class ClusterSnapshot:
         :meth:`SnapshotHandle.query_rank` field for field;
         ``parallel_sim_seconds`` is the per-device critical path (max
         blocks charged on any one shard's disk).
+
+        Partial gathers: when shards were quarantined at pin time, or
+        a shard's disk faults mid-search and ``min_gather_shards``
+        leaves quorum to spare, the answer covers the survivors with
+        its rank bound widened by the missing shards' element counts
+        (:func:`~repro.core.bounds.widen_rank_bound`) and a
+        :class:`~repro.core.bounds.PartialResult` attached to the
+        result's ``partial`` field.  With every shard answering and no
+        faults, the path — and the answer — is unchanged.
         """
         if mode not in ("quick", "accurate"):
             raise ValueError("mode must be 'quick' or 'accurate'")
         if self.n_total == 0:
             raise ValueError("snapshot is empty")
         started = time.perf_counter()
+        requested = int(rank)
         shard_partitions, summaries = self._scope(window_steps, step_range)
-        combined = self.combined(window_steps, step_range)
-        rank = max(1, min(int(rank), combined.total_size))
-        m_scope = sum(s.stream_size for s in summaries)
-        quick_bound = self._quick_bound(combined.total_size, m_scope)
+        quorum = max(1, self.config.min_gather_shards)
+        # Handle positions excluded mid-search -> their scoped counts.
+        excluded: Dict[int, int] = {}
         degraded = False
         parallel_blocks = 0
+
+        def attempt_state(positions: List[int]):
+            """(combined, stream_rank_fn, m_scope) over a shard subset."""
+            if len(positions) == len(self.handles):
+                built = self.combined(window_steps, step_range)
+                fn = self.stream_rank if step_range is None else None
+            else:
+                built = self._build_combined(
+                    [shard_partitions[i] for i in positions],
+                    [summaries[i] for i in positions],
+                )
+                if step_range is None:
+                    def fn(value: int) -> float:
+                        return sum(
+                            self.handles[i].stream_rank(value)
+                            for i in positions
+                        )
+                else:
+                    fn = None
+            scope_m = sum(summaries[i].stream_size for i in positions)
+            return built, fn, scope_m
+
+        positions = list(range(len(self.handles)))
+        combined, stream_fn, m_scope = attempt_state(positions)
+        rank_eff = max(1, min(requested, combined.total_size))
+        quick_bound = self._quick_bound(combined.total_size, m_scope)
         if mode == "quick":
-            value = combined.quick_response(rank)
+            value = combined.quick_response(rank_eff)
             blocks = 0
-            estimated = float(rank)
+            estimated = float(rank_eff)
             iterations = 0
             truncated = False
             bound = quick_bound
         else:
-            if cache is None:
-                cache = self._new_cache(shard_partitions)
-            before = cache.per_shard_blocks()
-            search = AccurateSearch(
-                partitions=[
-                    p for parts in shard_partitions for p in parts
-                ],
-                stream_summary=_FusedStreamSummary(summaries),
-                combined=combined,
-                config=self.config,
-                rank=rank,
-                stream_rank_fn=(
-                    self.stream_rank if step_range is None else None
-                ),
-                cache=cache,
-                executor=self._executor,
-            )
-            try:
-                outcome = search.run()
-            except DiskFault:
-                if not self.config.degrade_on_fault:
-                    raise
-                outcome = None
-            if outcome is None:
-                degraded = True
-                value = combined.quick_response(rank)
-                blocks = 0
-                estimated = float(rank)
-                iterations = 0
-                truncated = True
-                bound = quick_bound
-            else:
-                value = outcome.value
-                blocks = outcome.random_blocks
-                estimated = outcome.estimated_rank
-                iterations = outcome.iterations
-                truncated = outcome.truncated
-                bound = self.config.query_epsilon * m_scope
-                parallel_blocks = max(
-                    after - prior
-                    for after, prior in zip(
-                        cache.per_shard_blocks(), before
+            while True:
+                # A caller-shared cache only matches the full shard
+                # set; exclusion retries always get a fresh one built
+                # over the survivors.
+                query_cache = cache if not excluded else None
+                if query_cache is None:
+                    query_cache = self._new_cache_for(
+                        positions, shard_partitions
                     )
+                before = query_cache.per_shard_blocks()
+                search = AccurateSearch(
+                    partitions=[
+                        p for i in positions for p in shard_partitions[i]
+                    ],
+                    stream_summary=_FusedStreamSummary(
+                        [summaries[i] for i in positions]
+                    ),
+                    combined=combined,
+                    config=self.config,
+                    rank=rank_eff,
+                    stream_rank_fn=stream_fn,
+                    cache=query_cache,
+                    executor=self._executor,
                 )
+                try:
+                    outcome = search.run()
+                except DiskFault:
+                    culprit = query_cache.failed_shard
+                    if (
+                        self.config.min_gather_shards > 0
+                        and culprit is not None
+                        and culprit not in excluded
+                        and len(positions) - 1 >= quorum
+                    ):
+                        excluded[culprit] = self.handles[
+                            culprit
+                        ]._scope_total(window_steps, step_range)
+                        positions = [
+                            i
+                            for i in range(len(self.handles))
+                            if i not in excluded
+                        ]
+                        combined, stream_fn, m_scope = attempt_state(
+                            positions
+                        )
+                        rank_eff = max(
+                            1, min(requested, combined.total_size)
+                        )
+                        quick_bound = self._quick_bound(
+                            combined.total_size, m_scope
+                        )
+                        continue
+                    if not self.config.degrade_on_fault:
+                        raise
+                    outcome = None
+                if outcome is None:
+                    degraded = True
+                    value = combined.quick_response(rank_eff)
+                    blocks = 0
+                    estimated = float(rank_eff)
+                    iterations = 0
+                    truncated = True
+                    bound = quick_bound
+                else:
+                    value = outcome.value
+                    blocks = outcome.random_blocks
+                    estimated = outcome.estimated_rank
+                    iterations = outcome.iterations
+                    truncated = outcome.truncated
+                    bound = self.config.query_epsilon * m_scope
+                    after = query_cache.per_shard_blocks()
+                    parallel_blocks = max(
+                        charged - before.get(shard, 0)
+                        for shard, charged in after.items()
+                    )
+                break
+        missing_all = dict(self.missing)
+        for pos, count in excluded.items():
+            missing_all[self.shard_ids[pos]] = count
+        partial: Optional[PartialResult] = None
+        if missing_all:
+            lost = sum(missing_all.values())
+            partial = PartialResult(
+                missing_shards=tuple(sorted(missing_all)),
+                missing_elements=lost,
+                shards_answering=len(positions),
+                shards_total=self.shards_total,
+                base_bound=float(bound),
+            )
+            bound = widen_rank_bound(bound, lost)
         latency = self.handles[0]._disk.latency
         return QueryResult(
             value=int(value),
-            target_rank=rank,
+            target_rank=rank_eff,
             total_size=combined.total_size,
             mode=mode,
             estimated_rank=estimated,
@@ -397,6 +592,7 @@ class ClusterSnapshot:
             parallel_sim_seconds=(
                 parallel_blocks * latency.seconds_per_random_block
             ),
+            partial=partial,
         )
 
     def _scope_total(
@@ -471,6 +667,17 @@ class ClusterSnapshot:
         bound = self._quick_bound(
             total, sum(s.stream_size for s in summaries)
         )
+        partial: Optional[PartialResult] = None
+        if self.missing:
+            lost = sum(self.missing.values())
+            partial = PartialResult(
+                missing_shards=tuple(sorted(self.missing)),
+                missing_elements=lost,
+                shards_answering=len(self.handles),
+                shards_total=self.shards_total,
+                base_bound=float(bound),
+            )
+            bound = widen_rank_bound(bound, lost)
         wall = time.perf_counter() - started
         return [
             QueryResult(
@@ -487,6 +694,7 @@ class ClusterSnapshot:
                 window_steps=window_steps,
                 query_workers=self._executor.workers,
                 rank_error_bound=float(bound),
+                partial=partial,
             )
             for rank, value in zip(ranks, values)
         ]
@@ -503,6 +711,22 @@ class ClusterEngine:
     through the same duck-typed surface as a single engine — ``pin``,
     ``config``, ``shared_cache`` (``None``: warm passes are a per-shard
     concern) and ``disk``.
+
+    Fault tolerance:
+
+    * ``fault_plan`` wraps each shard's device in its own seeded
+      :class:`~repro.faults.FaultyDisk` (see
+      :meth:`FaultPlan.for_shard <repro.faults.plan.FaultPlan.for_shard>`
+      for the derivation), so chaos scenarios replay from one integer.
+    * ``wal_dir`` gives every shard a durable
+      :class:`~repro.ingest.wal.WriteAheadLog` under
+      ``<wal_dir>/shard-NN/``; acked ingest survives a shard crash.
+    * :meth:`kill_shard` quarantines a poisoned shard — its slot turns
+      ``None``, ingest routed to it banks into the retained WAL writer,
+      queries gather partially (quorum permitting) — and
+      :meth:`rejoin_shard` swaps a restored engine back in.  The
+      :class:`~repro.cluster.supervisor.ShardSupervisor` automates the
+      quarantine -> restore -> rejoin loop.
     """
 
     def __init__(
@@ -512,6 +736,8 @@ class ClusterEngine:
         epsilon: Optional[float] = None,
         router: Optional[ShardRouter] = None,
         engines: Optional[Sequence[HybridQuantileEngine]] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        wal_dir: "Optional[str | Path]" = None,
     ) -> None:
         if config is None:
             if epsilon is None:
@@ -526,16 +752,56 @@ class ClusterEngine:
                 f"router covers {self.router.shards} shards, "
                 f"cluster has {shards}"
             )
+        self.fault_plan = fault_plan
         if engines is not None:
+            if fault_plan is not None:
+                raise ValueError(
+                    "fault_plan applies to cluster-built shards; wrap "
+                    "the disks yourself when passing explicit engines"
+                )
             if len(engines) != shards:
                 raise ValueError(
                     f"got {len(engines)} engines for {shards} shards"
                 )
-            self.shards: List[HybridQuantileEngine] = list(engines)
+            self.shards: "List[Optional[HybridQuantileEngine]]" = list(
+                engines
+            )
         else:
             self.shards = [
-                HybridQuantileEngine(config=config) for _ in range(shards)
+                HybridQuantileEngine(
+                    config=config,
+                    disk=(
+                        FaultyDisk(
+                            fault_plan.for_shard(index),
+                            block_elems=config.block_elems,
+                        )
+                        if fault_plan is not None
+                        else None
+                    ),
+                )
+                for index in range(shards)
             ]
+        self._wal_root: Optional[Path] = (
+            Path(wal_dir) if wal_dir is not None else None
+        )
+        self._wals: "List[Optional[WriteAheadLog]]" = [None] * shards
+        if self._wal_root is not None:
+            for index, shard in enumerate(self.shards):
+                wal = getattr(shard, "_wal", None)
+                if wal is None:
+                    wal = WriteAheadLog(
+                        shard_wal_dir(self._wal_root, index),
+                        fsync=config.wal_fsync,
+                    )
+                    shard.attach_wal(wal)
+                self._wals[index] = wal
+        #: quarantined shard index -> reason string.
+        self._quarantined: Dict[int, str] = {}
+        #: cumulative acked elements per shard — cluster-side truth
+        #: that survives a shard's death (recovery must match it).
+        self._shard_elems: List[int] = [
+            int(shard.n_total) for shard in self.shards
+        ]
         self._executor = QueryExecutor(
             workers=config.query_workers,
             retry=config.probe_retry_policy,
@@ -546,12 +812,41 @@ class ClusterEngine:
 
     @property
     def num_shards(self) -> int:
-        """Number of engine shards."""
+        """Number of engine shards (quarantined slots included)."""
         return len(self.shards)
 
+    @property
+    def quarantined_shards(self) -> Dict[int, str]:
+        """Quarantined shard index -> reason (copy)."""
+        return dict(self._quarantined)
+
+    def _wal_only_append(self, shard: int, chunk: np.ndarray) -> None:
+        """Bank a quarantined shard's sub-batch into its retained WAL.
+
+        The append is durable before the caller's ack returns, so the
+        supervisor's recovery (checkpoint + WAL roll-forward) observes
+        every element ever acked for the slot.  Without a WAL there is
+        nowhere durable to put the data — refuse the write.
+        """
+        wal = self._wals[shard]
+        if wal is None:
+            raise ClusterUnavailable(
+                f"shard {shard} is quarantined and has no WAL to bank "
+                "writes into"
+            )
+        wal.append_batch(chunk)
+
     def stream_update(self, value: int) -> None:
-        """Route one live element to its shard."""
-        self.shards[self.router.shard_of(value)].stream_update(value)
+        """Route one live element to its shard (WAL-only if quarantined)."""
+        shard = self.router.shard_of(value)
+        engine = self.shards[shard]
+        if engine is None:
+            self._wal_only_append(
+                shard, np.asarray([value], dtype=np.int64)
+            )
+        else:
+            engine.stream_update(value)
+        self._shard_elems[shard] += 1
 
     def stream_update_many(self, values: np.ndarray) -> int:
         """Fan a numpy batch out per shard in one vectorized pass.
@@ -559,17 +854,24 @@ class ClusterEngine:
         Each shard receives its sub-stream in arrival order, so the
         fanned batch is indistinguishable from element-wise routing
         (and each shard's own batched path preserves its single-engine
-        bit-identity contract).  Returns the number of elements
-        ingested.
+        bit-identity contract).  Sub-batches routed to a quarantined
+        shard are banked durably into its WAL and applied at recovery.
+        Returns the number of elements ingested.
         """
         arr = np.asarray(values, dtype=np.int64)
         if arr.ndim != 1:
             arr = arr.ravel()
         if arr.size == 0:
             return 0
-        for shard, chunk in zip(self.shards, self.router.route_many(arr)):
-            if chunk.size:
-                shard.stream_update_many(chunk)
+        for shard, chunk in enumerate(self.router.route_many(arr)):
+            if not chunk.size:
+                continue
+            engine = self.shards[shard]
+            if engine is None:
+                self._wal_only_append(shard, chunk)
+            else:
+                engine.stream_update_many(chunk)
+            self._shard_elems[shard] += int(chunk.size)
         return int(arr.size)
 
     def stream_update_batch(self, values: Iterable[int]) -> None:
@@ -581,38 +883,77 @@ class ClusterEngine:
                 np.fromiter(values, dtype=np.int64)
             )
 
-    def end_time_step(self) -> List[StepReport]:
+    def end_time_step(self) -> "List[Optional[StepReport]]":
         """Seal the current step on every shard (lockstep).
 
         Returns the per-shard step reports in shard order.  All shards
         seal even when a shard received no elements this step, so step
         numbering — and therefore windowed queries — stays aligned
-        across the cluster.
+        across the cluster.  A quarantined shard gets a seal frame in
+        its WAL instead (recovery replays it to the same lockstep) and
+        a ``None`` placeholder in the report list.
         """
-        reports = [shard.end_time_step() for shard in self.shards]
+        reports: "List[Optional[StepReport]]" = []
+        for index, shard in enumerate(self.shards):
+            if shard is None:
+                wal = self._wals[index]
+                if wal is not None:
+                    wal.append_seal(self._step + 1)
+                reports.append(None)
+            else:
+                reports.append(shard.end_time_step())
         self._step += 1
         return reports
 
-    def flush(self) -> List[List[StepReport]]:
-        """Drain every shard's archiver; per-shard authoritative reports."""
-        return [shard.flush() for shard in self.shards]
+    def flush(self) -> "List[Optional[List[StepReport]]]":
+        """Drain every live shard's archiver (all attempted, errors joined).
+
+        Every live shard is flushed even when an earlier one fails;
+        quarantined slots yield ``None``.  A single failure re-raises
+        that shard's original exception unchanged; multiple failures
+        raise :class:`ShardErrors` carrying all of them, so one
+        poisoned shard can never mask another's state.
+        """
+        results: "List[Optional[List[StepReport]]]" = (
+            [None] * len(self.shards)
+        )
+        errors: Dict[int, BaseException] = {}
+        for index, shard in enumerate(self.shards):
+            if shard is None:
+                continue
+            try:
+                results[index] = shard.flush()
+            except BaseException as exc:  # noqa: BLE001 - flush all first
+                errors[index] = exc
+        if len(errors) == 1:
+            raise next(iter(errors.values()))
+        if errors:
+            raise ShardErrors("flush", errors)
+        return results
 
     # -- stats ----------------------------------------------------------
 
     @property
     def n_historical(self) -> int:
-        """Elements archived across all shards."""
-        return sum(s.n_historical for s in self.shards)
+        """Elements archived across all live shards."""
+        return sum(
+            s.n_historical for s in self.shards if s is not None
+        )
 
     @property
     def m_stream(self) -> int:
-        """Live stream elements across all shards."""
-        return sum(s.m_stream for s in self.shards)
+        """Live stream elements across all live shards."""
+        return sum(s.m_stream for s in self.shards if s is not None)
 
     @property
     def n_total(self) -> int:
-        """Total elements ingested across all shards."""
+        """Total elements held by live shards (quarantined excluded)."""
         return self.n_historical + self.m_stream
+
+    @property
+    def n_acked(self) -> int:
+        """Total elements ever acked, quarantined shards included."""
+        return sum(self._shard_elems)
 
     @property
     def steps_sealed(self) -> int:
@@ -631,13 +972,19 @@ class ClusterEngine:
 
     @property
     def disk(self):
-        """Shard 0's disk (protocol compatibility; see per-shard stats)."""
-        return self.shards[0].disk
+        """First live shard's disk (protocol compatibility)."""
+        for shard in self.shards:
+            if shard is not None:
+                return shard.disk
+        raise ClusterUnavailable("every shard is quarantined")
 
     def available_window_sizes(self) -> List[int]:
-        """Window sizes answerable on every shard (lockstep: identical)."""
-        common = set(self.shards[0].available_window_sizes())
-        for shard in self.shards[1:]:
+        """Window sizes answerable on every live shard."""
+        live = [s for s in self.shards if s is not None]
+        if not live:
+            return []
+        common = set(live[0].available_window_sizes())
+        for shard in live[1:]:
             common &= set(shard.available_window_sizes())
         return sorted(common)
 
@@ -646,9 +993,13 @@ class ClusterEngine:
 
         ``max`` over the list is the cluster's I/O critical path — the
         wall-clock a deployment with one real device per shard would
-        observe; ``sum`` is the single-device equivalent.
+        observe; ``sum`` is the single-device equivalent.  Quarantined
+        slots report ``0.0`` (their device is gone with the engine).
         """
-        return [s.disk.simulated_seconds() for s in self.shards]
+        return [
+            s.disk.simulated_seconds() if s is not None else 0.0
+            for s in self.shards
+        ]
 
     def shard_reports(self) -> List[dict]:
         """Per-shard metrics: sizes, epochs, I/O — the gather side.
@@ -659,6 +1010,17 @@ class ClusterEngine:
         """
         reports = []
         for index, shard in enumerate(self.shards):
+            if shard is None:
+                reports.append(
+                    {
+                        "shard": index,
+                        "quarantined": self._quarantined.get(
+                            index, "unknown"
+                        ),
+                        "acked_elements": self._shard_elems[index],
+                    }
+                )
+                continue
             stats = shard.epoch_stats
             counters = shard.disk.stats.counters
             reports.append(
@@ -683,22 +1045,56 @@ class ClusterEngine:
     # -- queries --------------------------------------------------------
 
     def pin(self) -> ClusterSnapshot:
-        """Pin every shard (in shard order) into one consistent view.
+        """Pin every live shard (in shard order) into one consistent view.
 
         Per-shard pins are individually atomic against that shard's
         sealing; cross-shard exactness holds when ingest is quiesced
         (the equivalence harness's regime).  On failure every
         already-acquired pin is released.
+
+        With quarantined shards: strict gather
+        (``min_gather_shards == 0``, the default) raises
+        :class:`ClusterUnavailable`; otherwise the snapshot carries the
+        missing shards' acked counts so every answer widens its bound
+        and reports a :class:`~repro.core.bounds.PartialResult`.
+        Quorum is ``max(1, min_gather_shards)`` live shards.
         """
+        live = [
+            (index, shard)
+            for index, shard in enumerate(self.shards)
+            if shard is not None
+        ]
+        if self._quarantined:
+            if self.config.min_gather_shards <= 0:
+                raise ClusterUnavailable(
+                    f"shards {sorted(self._quarantined)} are quarantined "
+                    "and min_gather_shards is 0 (strict gather)"
+                )
+            quorum = max(1, self.config.min_gather_shards)
+            if len(live) < quorum:
+                raise ClusterUnavailable(
+                    f"only {len(live)} of {len(self.shards)} shards are "
+                    f"live; gather quorum is {quorum}"
+                )
         handles: List[SnapshotHandle] = []
         try:
-            for shard in self.shards:
+            for _, shard in live:
                 handles.append(shard.pin())
         except BaseException:
             for handle in handles:
                 handle.release()
             raise
-        return ClusterSnapshot(handles, self.config, self._executor)
+        return ClusterSnapshot(
+            handles,
+            self.config,
+            self._executor,
+            shard_ids=[index for index, _ in live],
+            missing={
+                index: self._shard_elems[index]
+                for index in self._quarantined
+            },
+            shards_total=len(self.shards),
+        )
 
     def query_rank(
         self,
@@ -744,30 +1140,170 @@ class ClusterEngine:
                 phis, mode=mode, window_steps=window_steps
             )
 
+    # -- fault handling -------------------------------------------------
+
+    def kill_shard(self, shard: int, reason: str = "poisoned") -> None:
+        """Quarantine a shard: detach its WAL, tear the engine down.
+
+        The WAL writer is retained by the cluster, so ingest routed to
+        the dead shard keeps acking durably (WAL-only) while the
+        supervisor restores it.  Errors from the dying engine are
+        swallowed — the shard is being quarantined *because* it is
+        broken.
+        """
+        engine = self.shards[shard]
+        if engine is None:
+            raise ValueError(f"shard {shard} is already quarantined")
+        wal = getattr(engine, "_wal", None)
+        if wal is not None:
+            engine.detach_wal()
+            self._wals[shard] = wal
+        try:
+            engine.close()
+        except BaseException:  # noqa: BLE001 - quarantining a broken shard
+            pass
+        self.shards[shard] = None
+        self._quarantined[shard] = str(reason)
+
+    def rejoin_shard(
+        self, shard: int, engine: HybridQuantileEngine
+    ) -> None:
+        """Swap a restored engine back into a quarantined slot.
+
+        The engine must have caught up to the cluster: same sealed-step
+        count and the full acked element count for the slot — both are
+        what checkpoint-plus-WAL-replay recovery guarantees.  Adopts
+        the restored engine's WAL writer as the slot's writer.
+        """
+        if self.shards[shard] is not None:
+            raise ValueError(f"shard {shard} is not quarantined")
+        if engine.steps_sealed != self._step:
+            raise ValueError(
+                f"restored shard sealed {engine.steps_sealed} steps, "
+                f"cluster is at {self._step}"
+            )
+        if engine.n_total != self._shard_elems[shard]:
+            raise ValueError(
+                f"restored shard holds {engine.n_total} elements, "
+                f"{self._shard_elems[shard]} were acked"
+            )
+        self.shards[shard] = engine
+        self._quarantined.pop(shard, None)
+        wal = getattr(engine, "_wal", None)
+        if wal is not None:
+            self._wals[shard] = wal
+
+    def release_wal(self, shard: int) -> None:
+        """Close and drop the cluster-retained WAL writer for a slot.
+
+        The supervisor calls this right before restoring the shard:
+        ``load_engine(wal_dir=...)`` opens its own writer on the same
+        directory, and a directory admits exactly one live writer.
+        """
+        wal = self._wals[shard]
+        if wal is not None:
+            self._wals[shard] = None
+            wal.close()
+
+    def reopen_wal(self, shard: int) -> None:
+        """Reopen a quarantined slot's WAL writer after a failed restore.
+
+        Idempotent; a no-op without a WAL root or when a writer is
+        already open.  Keeps the slot durably writable between restore
+        attempts.
+        """
+        if self._wal_root is None or self._wals[shard] is not None:
+            return
+        self._wals[shard] = WriteAheadLog(
+            shard_wal_dir(self._wal_root, shard),
+            fsync=self.config.wal_fsync,
+        )
+
+    @property
+    def wal_root(self) -> Optional[Path]:
+        """Root directory holding the per-shard WALs (``None`` if off)."""
+        return self._wal_root
+
+    def new_shard_disk(self, index: int):
+        """A fresh device for restoring shard ``index``.
+
+        Honors the cluster's fault plan (the restored shard draws the
+        same per-shard schedule as the one it replaces); ``None`` when
+        no plan is installed, letting ``load_engine`` build a plain
+        simulated disk.
+        """
+        if self.fault_plan is None:
+            return None
+        return FaultyDisk(
+            self.fault_plan.for_shard(index),
+            block_elems=self.config.block_elems,
+        )
+
+    def dump_fault_transcripts(
+        self, directory: "str | Path"
+    ) -> List[Path]:
+        """Write each live shard's fault transcript JSON (CI artifact)."""
+        out = Path(directory)
+        out.mkdir(parents=True, exist_ok=True)
+        written: List[Path] = []
+        for index, shard in enumerate(self.shards):
+            if shard is None or not isinstance(shard.disk, FaultyDisk):
+                continue
+            written.append(
+                shard.disk.dump_transcript(
+                    out / f"shard-{index:02d}.json"
+                )
+            )
+        return written
+
     # -- lifecycle ------------------------------------------------------
 
     def check_invariants(self) -> None:
-        """Validate every shard plus the cluster's lockstep contract."""
-        for shard in self.shards:
+        """Validate every live shard plus the cluster's lockstep contract."""
+        for index, shard in enumerate(self.shards):
+            if shard is None:
+                continue
             shard.check_invariants()
             if shard.steps_sealed != self._step:
                 raise AssertionError(
                     f"shard sealed {shard.steps_sealed} steps, "
                     f"cluster sealed {self._step}"
                 )
+            if shard.n_total != self._shard_elems[index]:
+                raise AssertionError(
+                    f"shard {index} holds {shard.n_total} elements, "
+                    f"{self._shard_elems[index]} were acked"
+                )
 
     def close(self) -> None:
-        """Close every shard and the query executor (errors deferred)."""
-        first_error: Optional[BaseException] = None
-        for shard in self.shards:
+        """Close every shard and the executor (all attempted, errors joined).
+
+        Every live shard is closed even when an earlier one fails, and
+        quarantined slots' cluster-retained WAL writers are closed too.
+        A single failure re-raises that shard's original exception
+        unchanged; multiple failures raise :class:`ShardErrors` with
+        all of them — a poisoned shard cannot mask another's.
+        """
+        errors: Dict[int, BaseException] = {}
+        for index, shard in enumerate(self.shards):
+            if shard is None:
+                continue
             try:
                 shard.close()
             except BaseException as exc:  # noqa: BLE001 - close all first
-                if first_error is None:
-                    first_error = exc
+                errors[index] = exc
+        for index, wal in enumerate(self._wals):
+            if wal is not None and self.shards[index] is None:
+                self._wals[index] = None
+                try:
+                    wal.close()
+                except BaseException as exc:  # noqa: BLE001
+                    errors.setdefault(index, exc)
         self._executor.close()
-        if first_error is not None:
-            raise first_error
+        if len(errors) == 1:
+            raise next(iter(errors.values()))
+        if errors:
+            raise ShardErrors("close", errors)
 
     def __enter__(self) -> "ClusterEngine":
         return self

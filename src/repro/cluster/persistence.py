@@ -17,12 +17,13 @@ import dataclasses
 import json
 import os
 from pathlib import Path
-from typing import List
+from typing import List, Optional
 
 from ..core.config import EngineConfig
+from ..faults.plan import FaultPlan
 from ..persistence.checkpoint import load_engine, save_engine
 from ..persistence.warehouse_store import PersistenceError
-from .engine import ClusterEngine
+from .engine import ClusterEngine, shard_wal_dir
 from .router import ShardRouter
 
 _MANIFEST_FILE = "cluster.json"
@@ -40,6 +41,12 @@ def save_cluster(cluster: ClusterEngine, directory: "str | Path") -> Path:
     plus ``cluster.json``.  The manifest is written last, atomically,
     so its presence certifies that every shard directory is complete.
     """
+    if cluster.quarantined_shards:
+        raise PersistenceError(
+            "cannot checkpoint a cluster with quarantined shards "
+            f"{sorted(cluster.quarantined_shards)}: their state lives "
+            "only in the WAL; restore them first"
+        )
     root = Path(directory)
     root.mkdir(parents=True, exist_ok=True)
     for index, shard in enumerate(cluster.shards):
@@ -57,13 +64,23 @@ def save_cluster(cluster: ClusterEngine, directory: "str | Path") -> Path:
     return root
 
 
-def load_cluster(directory: "str | Path") -> ClusterEngine:
+def load_cluster(
+    directory: "str | Path",
+    wal_dir: "Optional[str | Path]" = None,
+    fault_plan: Optional[FaultPlan] = None,
+) -> ClusterEngine:
     """Restore a cluster checkpointed by :func:`save_cluster`.
 
     Rebuilds the router and config from the manifest, restores each
     shard engine from its own directory (each on a fresh simulated
-    disk, as at construction) and reassembles the facade with the
-    lockstep step counter intact.
+    disk — or a fault-plan-wrapped one when ``fault_plan`` is given)
+    and reassembles the facade with the lockstep step counter intact.
+
+    With ``wal_dir``, each shard rolls forward from its own
+    ``shard-NN/`` WAL after its checkpoint loads, recovering every
+    batch acked after the checkpoint; the cluster step advances to the
+    replayed engines' sealed-step count when the WAL carried seals past
+    the manifest.
     """
     root = Path(directory)
     manifest_path = root / _MANIFEST_FILE
@@ -84,11 +101,38 @@ def load_cluster(directory: "str | Path") -> ClusterEngine:
             raise PersistenceError(
                 f"manifest names {shards} shards but {shard_dir} is missing"
             )
-        engines.append(load_engine(shard_dir))
+        disk = None
+        if fault_plan is not None:
+            from ..faults.disk import FaultyDisk
+
+            disk = FaultyDisk(
+                fault_plan.for_shard(index),
+                block_elems=config.block_elems,
+            )
+        engines.append(
+            load_engine(
+                shard_dir,
+                disk=disk,
+                wal_dir=(
+                    shard_wal_dir(wal_dir, index)
+                    if wal_dir is not None
+                    else None
+                ),
+            )
+        )
     cluster = ClusterEngine(
-        shards=shards, config=config, router=router, engines=engines
+        shards=shards,
+        config=config,
+        router=router,
+        engines=engines,
+        wal_dir=wal_dir,
     )
-    cluster._step = int(manifest["step"])
+    cluster.fault_plan = fault_plan
+    # WAL replay may have sealed steps past the manifest's snapshot.
+    cluster._step = max(
+        int(manifest["step"]),
+        max(engine.steps_sealed for engine in engines),
+    )
     return cluster
 
 

@@ -28,6 +28,49 @@ from .summaries import PartitionSummary, StreamSummary
 
 
 @dataclass(frozen=True)
+class PartialResult:
+    """Missing-shard accounting for a partial cluster gather.
+
+    When ``k`` of ``N`` shards cannot answer (quarantined at pin time,
+    or excluded mid-search after a disk fault), the gather answers over
+    the surviving union and widens its rank-error bound by the missing
+    shards' element counts — see :func:`widen_rank_bound` for why that
+    is sound.  Attached to the returned
+    :class:`~repro.core.engine.QueryResult` as its ``partial`` field.
+    """
+
+    #: shard ids (cluster-wide) that did not contribute to the answer.
+    missing_shards: "tuple[int, ...]"
+    #: elements those shards held in the queried scope.
+    missing_elements: int
+    #: shards that did answer.
+    shards_answering: int
+    #: total shards in the cluster.
+    shards_total: int
+    #: the surviving-scope bound before widening.
+    base_bound: float
+
+
+def widen_rank_bound(base_bound: float, missing_elements: int) -> float:
+    """Widen a surviving-scope rank bound by the missing elements.
+
+    Let the full union hold ``T`` elements, the survivors ``T' = T -
+    C`` where ``C = missing_elements``, and let the answer ``v`` target
+    rank ``r'`` among the survivors with ``|rank_S(v) - r'| <=
+    base_bound``.  Against any full-union target ``r`` with ``|r - r'|
+    <= C`` (rank clamping or ``phi``-rescaling both satisfy this):
+
+        rank_T(v) - r = (rank_T(v) - rank_S(v)) + (rank_S(v) - r')
+                        + (r' - r)
+
+    The first term lies in ``[0, C]`` (the missing elements can only
+    push ``v``'s union rank up), the last in ``[-C, 0]``, so the two
+    ``C``-terms never stack and ``|rank_T(v) - r| <= base_bound + C``.
+    """
+    return float(base_bound) + int(missing_elements)
+
+
+@dataclass(frozen=True)
 class CombinedSummary:
     """TS with per-element rank bounds.
 

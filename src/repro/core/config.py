@@ -119,6 +119,22 @@ class EngineConfig:
         sharded cluster needs: per-shard sketches merge without error
         blow-up, which GK summaries cannot do.  Single-engine answers
         remain within the same ``eps * m`` contract either way.
+    min_gather_shards:
+        Cluster partial-gather quorum: the minimum number of shards
+        that must contribute before a query answers at all.  The
+        default of 0 keeps the strict pre-fault-tolerance behavior —
+        every shard must answer, a missing or faulting shard fails the
+        query (or degrades it, per ``degrade_on_fault``).  With a
+        positive quorum, a gather missing up to ``N - quorum`` shards
+        still answers, widening ``rank_error_bound`` by the missing
+        shards' element counts and attaching a
+        :class:`~repro.core.bounds.PartialResult` to the response.
+    wal_fsync:
+        Whether an attached ingest write-ahead log fsyncs every
+        appended frame before the update is acked (default).  Turning
+        it off keeps the framing and replay machinery but downgrades
+        the durability guarantee to the OS page cache — a benchmark
+        escape hatch, not a production setting.
     """
 
     epsilon: float
@@ -143,6 +159,8 @@ class EngineConfig:
     shared_cache_blocks: int = 0
     prefetch_blocks: int = 4
     sketch_backend: str = "gk"
+    min_gather_shards: int = 0
+    wal_fsync: bool = True
 
     def __post_init__(self) -> None:
         if not 0 < self.epsilon < 1:
@@ -182,6 +200,8 @@ class EngineConfig:
             raise ValueError("prefetch_blocks must be >= 0")
         if self.sketch_backend not in ("gk", "kll"):
             raise ValueError("sketch_backend must be 'gk' or 'kll'")
+        if self.min_gather_shards < 0:
+            raise ValueError("min_gather_shards must be >= 0")
 
     @property
     def epsilon1(self) -> float:

@@ -71,7 +71,7 @@ from ..storage.shared_cache import SharedBlockCache
 from ..warehouse.compaction import LeveledCompactionStore
 from ..warehouse.leveled_store import LeveledStore, window_sizes_from
 from ..warehouse.partition import Partition
-from .bounds import CombinedSummary
+from .bounds import CombinedSummary, PartialResult
 from .config import EngineConfig
 from .epoch import EpochRegistry, EpochStats, SnapshotHandle
 from .filters import AccurateSearch
@@ -150,6 +150,10 @@ class QueryResult:
     #: response: ``~eps * m`` for an accurate answer, the much wider
     #: ``eps1 * n + eps2 * m`` for quick and degraded answers.
     rank_error_bound: float = 0.0
+    #: set when a cluster gather answered from a strict subset of
+    #: shards; carries the missing-shard accounting behind the widened
+    #: ``rank_error_bound`` (see :class:`~repro.core.bounds.PartialResult`).
+    partial: Optional[PartialResult] = None
 
     @property
     def phi(self) -> float:
@@ -272,6 +276,10 @@ class HybridQuantileEngine:
         # always binds the *final* store (load_engine swaps the store
         # attribute after construction).
         self._archiver: Optional[BackgroundArchiver] = None
+        # Optional durability: when attached, every acked batch and
+        # seal is appended (and fsynced) to the log before it is
+        # applied, so a crash replays to the exact acked state.
+        self._wal = None
 
     # ------------------------------------------------------------------
     # Stream ingestion (Algorithm 4) and warehouse loading (Algorithm 3)
@@ -322,6 +330,8 @@ class HybridQuantileEngine:
         against concurrent readers and the sealing path.
         """
         value = int(value)
+        if self._wal is not None:
+            self._wal.append_batch(np.asarray([value], dtype=np.int64))
         with self._stream_lock:
             self._buffer.append(value)
             self._stream_stats = self._stream_stats.with_value(value)
@@ -357,6 +367,8 @@ class HybridQuantileEngine:
             arr = arr.ravel()
         if arr.size == 0:
             return 0
+        if self._wal is not None:
+            self._wal.append_batch(arr)
         stats = AggregateStats.of_array(arr)
         with self._stream_lock:
             self._buffer.extend(arr)
@@ -376,6 +388,25 @@ class HybridQuantileEngine:
             self.stream_update_many(values)
         else:
             self.stream_update_many(np.fromiter(values, dtype=np.int64))
+
+    def attach_wal(self, wal) -> None:
+        """Attach a :class:`~repro.ingest.wal.WriteAheadLog`.
+
+        Every subsequent ``stream_update`` / ``stream_update_many``
+        batch and every ``end_time_step`` seal is appended (and made
+        durable) *before* it is applied, so returning from those calls
+        constitutes a durable ack.  :meth:`close` closes the log;
+        callers that share a writer across engine incarnations (the
+        cluster supervisor) should :meth:`detach_wal` first.
+        """
+        if self._wal is not None:
+            raise ValueError("engine already has a write-ahead log")
+        self._wal = wal
+
+    def detach_wal(self):
+        """Detach and return the write-ahead log (ownership transfers)."""
+        wal, self._wal = self._wal, None
+        return wal
 
     def _absorb_stream_tail(self) -> None:
         """Bulk-insert the not-yet-absorbed buffer tail into the sketch.
@@ -426,6 +457,8 @@ class HybridQuantileEngine:
         full archiver queue.
         """
         started = time.perf_counter()
+        if self._wal is not None:
+            self._wal.append_seal(self._step + 1)
         if self.config.ingest_mode == "background":
             archiver = self._ensure_archiver()
             archiver.reserve()
@@ -1166,7 +1199,12 @@ class HybridQuantileEngine:
             if self._archiver is not None:
                 self._archiver.close()
         finally:
-            self._query_executor.close()
+            try:
+                if self._wal is not None:
+                    self._wal.close()
+                    self._wal = None
+            finally:
+                self._query_executor.close()
 
     def __enter__(self) -> "HybridQuantileEngine":
         return self

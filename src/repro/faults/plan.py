@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import json
 import random
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, field, fields, replace
 from pathlib import Path
 from typing import FrozenSet, Optional, Tuple
 
@@ -79,6 +79,11 @@ class FaultPlan:
     fail_at:
         Exact ``(kind, index)`` pins that fault regardless of rates:
         kind is ``"read"`` or ``"write"``; the fault is transient.
+    shard_scope:
+        Cluster scoping: shard indices this plan applies to.  ``None``
+        (the default) targets every shard.  :meth:`for_shard` derives
+        each shard's own plan — out-of-scope shards get the null plan,
+        in-scope shards an independently seeded sub-schedule.
     """
 
     seed: int = 0
@@ -89,6 +94,7 @@ class FaultPlan:
     stall_seconds: float = 0.0
     max_faults: Optional[int] = None
     fail_at: FrozenSet[Tuple[str, int]] = field(default_factory=frozenset)
+    shard_scope: Optional[Tuple[int, ...]] = None
 
     def __post_init__(self) -> None:
         for name in (
@@ -109,6 +115,11 @@ class FaultPlan:
             self, "fail_at",
             frozenset((str(kind), int(index)) for kind, index in self.fail_at),
         )
+        if self.shard_scope is not None:
+            scope = tuple(sorted({int(s) for s in self.shard_scope}))
+            if scope and scope[0] < 0:
+                raise ValueError("shard_scope indices must be >= 0")
+            object.__setattr__(self, "shard_scope", scope)
 
     @property
     def null(self) -> bool:
@@ -148,6 +159,23 @@ class FaultPlan:
                 return STALL
         return None
 
+    def for_shard(self, shard: int) -> "FaultPlan":
+        """Derive shard ``shard``'s own plan from a cluster-level one.
+
+        Out-of-scope shards receive the null plan (their disks stay
+        operation-for-operation identical to a fault-free device).
+        In-scope shards receive this plan reseeded with a per-shard
+        mix, so the N shards draw independent schedules rather than
+        faulting in lockstep at the same operation indices.
+        """
+        shard = int(shard)
+        if shard < 0:
+            raise ValueError("shard must be >= 0")
+        if self.shard_scope is not None and shard not in self.shard_scope:
+            return FaultPlan(seed=self.seed)
+        derived = (self.seed ^ ((shard + 1) * _MIX)) & (2**63 - 1)
+        return replace(self, seed=derived, shard_scope=None)
+
     # -- (de)serialization — the CLI's --fault-plan and CI artifacts --
 
     def to_json(self) -> str:
@@ -158,6 +186,8 @@ class FaultPlan:
             if f.name != "fail_at"
         }
         payload["fail_at"] = sorted(list(pin) for pin in self.fail_at)
+        if payload.get("shard_scope") is not None:
+            payload["shard_scope"] = list(payload["shard_scope"])
         return json.dumps(payload, indent=2)
 
     @classmethod

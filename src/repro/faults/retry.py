@@ -8,18 +8,25 @@ fault (corruption) or any non-fault exception propagates immediately,
 because retrying cannot change the outcome.
 
 Backoff is capped exponential: attempt ``k`` sleeps
-``min(base * 2**(k-1), cap)`` seconds.  The defaults are deliberately
-tiny (the simulated disk has no real latency to wait out); production
-knobs live on :class:`~repro.core.config.EngineConfig`.
+``min(base * 2**(k-1), cap)`` seconds, optionally shaved by seeded
+jitter so a fleet of retriers does not thunder in lockstep.  The
+jittered schedule is a pure function of ``(seed, attempt)`` — no
+global RNG, no hidden state — so the same policy replays the same
+sleeps, which is what lets the chaos harness assert recovery timing
+deterministically.  The defaults are deliberately tiny (the simulated
+disk has no real latency to wait out); production knobs live on
+:class:`~repro.core.config.EngineConfig`.
 """
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from .errors import DiskFault
+from .plan import _MIX
 
 
 @dataclass(frozen=True)
@@ -34,11 +41,22 @@ class RetryPolicy:
         Base sleep before the first retry.
     backoff_cap_seconds:
         Ceiling on any single sleep.
+    jitter:
+        Fraction of each (capped) sleep randomized away: retry ``k``
+        sleeps ``capped * (1 - jitter * u)`` where ``u`` is a uniform
+        variate keyed on ``(seed, k)``.  ``0`` (the default) keeps the
+        exact legacy schedule.
+    seed:
+        Seeds the jitter draws; two policies with the same seed sleep
+        the same schedule.  ``None`` behaves as seed 0 — jitter is
+        *always* deterministic, never wall-clock or global-RNG fed.
     """
 
     max_retries: int = 0
     backoff_seconds: float = 0.0
     backoff_cap_seconds: float = 1.0
+    jitter: float = 0.0
+    seed: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -47,15 +65,27 @@ class RetryPolicy:
             raise ValueError("backoff_seconds must be >= 0")
         if self.backoff_cap_seconds < 0.0:
             raise ValueError("backoff_cap_seconds must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def _jitter_draw(self, attempt: int) -> float:
+        # Same keyed-RNG idiom as FaultPlan._draw: a fresh Random per
+        # (seed, attempt) key — pure, replayable, order-independent.
+        seed = self.seed if self.seed is not None else 0
+        key = ((seed << 32) ^ (attempt * _MIX)) & (2**64 - 1)
+        return random.Random(key).random()
 
     def sleep_before(self, attempt: int) -> float:
         """Backoff before retry ``attempt`` (1-based)."""
         if self.backoff_seconds <= 0.0:
             return 0.0
-        return min(
+        capped = min(
             self.backoff_seconds * (2.0 ** (attempt - 1)),
             self.backoff_cap_seconds,
         )
+        if self.jitter > 0.0:
+            capped *= 1.0 - self.jitter * self._jitter_draw(attempt)
+        return capped
 
     def call(
         self,

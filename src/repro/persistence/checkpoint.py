@@ -51,6 +51,7 @@ import numpy as np
 from ..core.aggregates import AggregateStats
 from ..core.config import EngineConfig
 from ..core.engine import HybridQuantileEngine
+from ..ingest.wal import WriteAheadLog, replay_wal
 from ..storage.disk import SimulatedDisk
 from .serialization import dump_sketch, load_stream_sketch
 from .warehouse_store import (
@@ -121,8 +122,17 @@ def save_engine(engine: HybridQuantileEngine, directory: "str | Path") -> Path:
     recoverable by :func:`load_engine` — never a torn mixture.
     Partition files unchanged since the previous checkpoint are
     hard-linked into the stage rather than rewritten.
+
+    When the engine has a :class:`~repro.ingest.wal.WriteAheadLog`
+    attached, the log's current LSN is recorded in ``engine.json`` as
+    the replay watermark, and segments fully covered by this checkpoint
+    are truncated only *after* the commit point — a crash anywhere in
+    between merely leaves extra segments whose records replay as no-ops
+    (their LSNs sit at or below the watermark).
     """
     engine.flush()
+    wal = getattr(engine, "_wal", None)
+    wal_lsn = wal.last_lsn if wal is not None else None
     directory = Path(directory)
     if directory.parent != Path(""):
         directory.parent.mkdir(parents=True, exist_ok=True)
@@ -170,6 +180,8 @@ def save_engine(engine: HybridQuantileEngine, directory: "str | Path") -> Path:
         "step": engine._step,
         "stream_elems": engine.m_stream,
     }
+    if wal_lsn is not None:
+        state["wal_lsn"] = wal_lsn
     # engine.json is the completeness marker, so it is written last and
     # made durable before any rename.
     with open(stage / ENGINE_FILE, "w", encoding="utf-8") as handle:
@@ -186,6 +198,8 @@ def save_engine(engine: HybridQuantileEngine, directory: "str | Path") -> Path:
     _reach("promoted")
     if retired.exists():
         shutil.rmtree(retired)
+    if wal is not None:
+        wal.truncate(wal_lsn)
     return directory
 
 
@@ -245,6 +259,7 @@ def load_engine(
     directory: "str | Path",
     disk: Optional[SimulatedDisk] = None,
     repair: bool = False,
+    wal_dir: "str | Path | None" = None,
 ) -> HybridQuantileEngine:
     """Restore an engine checkpointed by :func:`save_engine`.
 
@@ -255,6 +270,12 @@ def load_engine(
     is rewritten); otherwise any inconsistency raises a typed
     :class:`PersistenceError` — a checkpoint never loads silently
     wrong.
+
+    With ``wal_dir``, the restored engine is rolled *forward* through
+    every write-ahead-log record past the checkpoint's LSN watermark
+    (acked batches and seals that never made it into a checkpoint), and
+    a reopened :class:`~repro.ingest.wal.WriteAheadLog` is attached so
+    subsequent ingest stays durable.
     """
     directory = recover_checkpoint(directory)
     state_path = directory / ENGINE_FILE
@@ -298,4 +319,9 @@ def load_engine(
             "stream sketch count disagrees with stream buffer"
         )
     engine._step = int(state["step"])
+    if wal_dir is not None:
+        replay_wal(engine, wal_dir, after_lsn=int(state.get("wal_lsn", 0)))
+        engine.attach_wal(
+            WriteAheadLog(wal_dir, fsync=config.wal_fsync)
+        )
     return engine

@@ -58,6 +58,13 @@ def answer_quick_batch(
                     phis, mode="quick", window_steps=window_steps
                 )
                 table = dict(zip(phis, results))
+                partial = sum(
+                    1
+                    for r in results
+                    if getattr(r, "partial", None) is not None
+                )
+                if partial:
+                    metrics.note_partial(len(requests))
                 for request in requests:
                     request._fulfill(table[request.phi], handle.epoch)
             merges = handle.ts_merges_built - merges_before

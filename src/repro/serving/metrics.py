@@ -69,6 +69,9 @@ class MetricsSnapshot:
     #: passes charged into the shared tier.
     warm_passes: int = 0
     warm_blocks: int = 0
+    #: answers produced by a partial cluster gather (missing shards,
+    #: widened bounds) — nonzero only when serving a degraded cluster.
+    partial_gathers: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -116,6 +119,7 @@ class ServiceMetrics:
         self._deduped_probes = 0
         self._warm_passes = 0
         self._warm_blocks = 0
+        self._partial_gathers = 0
 
     def record(self, mode: str, latency_seconds: float) -> None:
         """Count one served request and record its latency."""
@@ -130,6 +134,11 @@ class ServiceMetrics:
         """Count one accurate request degraded to quick under load."""
         with self._lock:
             self._degraded_to_quick += 1
+
+    def note_partial(self, answers: int = 1) -> None:
+        """Count answers served from a partial (missing-shard) gather."""
+        with self._lock:
+            self._partial_gathers += answers
 
     def note_batch(self, requests: int, merges: int) -> None:
         """Count one coalesced quick batch and the merges it spent."""
@@ -207,4 +216,5 @@ class ServiceMetrics:
                 cache_invalidations=getattr(cache, "invalidated_blocks", 0),
                 warm_passes=self._warm_passes,
                 warm_blocks=self._warm_blocks,
+                partial_gathers=self._partial_gathers,
             )

@@ -356,6 +356,8 @@ class QueryService:
                     request._fail(exc)
                 continue
             self.metrics.note_merges(merges)
+            if getattr(result, "partial", None) is not None:
+                self.metrics.note_partial(len(group))
             if len(group) > 1:
                 self.metrics.note_dedup(len(group) - 1)
             now = time.perf_counter()

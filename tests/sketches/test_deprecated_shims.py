@@ -1,0 +1,58 @@
+"""The ``update_batch`` shims warn exactly once per call and delegate."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.sketches.mrl import MRL99Sketch
+from repro.sketches.qdigest import QDigestSketch
+
+
+def make_mrl():
+    return MRL99Sketch(buffer_size=50, num_buffers=4, seed=3)
+
+
+def make_qdigest():
+    return QDigestSketch(epsilon=0.01, universe_log2=20)
+
+
+@pytest.mark.parametrize(
+    "factory", [make_mrl, make_qdigest], ids=["mrl", "qdigest"]
+)
+def test_update_batch_warns_exactly_once_per_call(factory):
+    sketch = factory()
+    values = list(range(100))
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        sketch.update_batch(values)
+    deprecations = [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+    assert len(deprecations) == 1
+    message = str(deprecations[0].message)
+    assert "update_batch is deprecated" in message
+    assert "update_many" in message
+    # One warning *per call*, not per element or once per process.
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        sketch.update_batch(values)
+    assert sum(
+        issubclass(w.category, DeprecationWarning) for w in caught
+    ) == 1
+
+
+@pytest.mark.parametrize(
+    "factory", [make_mrl, make_qdigest], ids=["mrl", "qdigest"]
+)
+def test_update_batch_delegates_to_update_many(factory):
+    rng = np.random.default_rng(17)
+    values = rng.integers(0, 2**19, size=3000)
+    via_many = factory()
+    via_many.update_many(np.asarray(values, dtype=np.int64))
+    via_batch = factory()
+    with pytest.warns(DeprecationWarning):
+        via_batch.update_batch(int(v) for v in values)  # iterable path
+    assert via_batch.n == via_many.n == len(values)
+    for phi in (0.01, 0.1, 0.5, 0.9, 0.99):
+        assert via_batch.quantile(phi) == via_many.quantile(phi)
