@@ -51,8 +51,11 @@ BENCH_DIR = Path(__file__).resolve().parent
 #: ``meta.shards``/``meta.sketch_backend`` identify the topology even
 #: for single-engine ablations (shards=1, backend "gk").
 _BENCH_REQUIRED_TOP = ("benchmark", "meta", "rows")
-_BENCH_REQUIRED_META = ("shards", "sketch_backend")
+_BENCH_REQUIRED_META = (
+    "shards", "sketch_backend", "storage_backend", "object_tier",
+)
 _BENCH_BACKENDS = ("gk", "kll")
+_BENCH_STORAGE_BACKENDS = ("simulated", "mmap", "object")
 
 
 def bench_path(name: str) -> Path:
@@ -79,6 +82,13 @@ def validate_bench_doc(doc: dict) -> None:
         raise ValueError(
             f"BENCH meta 'sketch_backend' must be one of {_BENCH_BACKENDS}"
         )
+    if meta["storage_backend"] not in _BENCH_STORAGE_BACKENDS:
+        raise ValueError(
+            "BENCH meta 'storage_backend' must be one of "
+            f"{_BENCH_STORAGE_BACKENDS}"
+        )
+    if not isinstance(meta["object_tier"], bool):
+        raise ValueError("BENCH meta 'object_tier' must be a bool")
     rows = doc["rows"]
     if not isinstance(rows, list) or not rows:
         raise ValueError("BENCH doc 'rows' must be a non-empty list")

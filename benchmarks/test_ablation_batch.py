@@ -143,6 +143,8 @@ def test_ablation_batch(benchmark):
                 "phis": list(PHIS),
                 "shards": 1,
                 "sketch_backend": "gk",
+                "storage_backend": "simulated",
+                "object_tier": False,
             },
             "rows": [
                 {

@@ -136,6 +136,8 @@ def sweep():
             "phis": list(BENCH_PHIS),
             "shards": 1,
             "sketch_backend": "gk",
+            "storage_backend": "simulated",
+            "object_tier": False,
         },
     }
 

@@ -203,6 +203,8 @@ def test_ablation_chaos(benchmark):
                 "shards": max(SHARDS),
                 "shards_swept": list(SHARDS),
                 "sketch_backend": BACKEND,
+                "storage_backend": "simulated",
+                "object_tier": False,
             },
             "rows": rows,
         },

@@ -174,6 +174,8 @@ def test_ablation_cluster(benchmark):
                 "shards": max(SHARDS),
                 "shards_swept": list(SHARDS),
                 "sketch_backend": BACKEND,
+                "storage_backend": "simulated",
+                "object_tier": False,
             },
             "rows": rows,
             "sim_speedup_4_over_1": speedup,

@@ -122,7 +122,12 @@ def test_ablation_ingest(benchmark):
         "ingest",
         {
             "benchmark": "ingest_ablation",
-            "meta": {"shards": 1, "sketch_backend": "gk"},
+            "meta": {
+                "shards": 1,
+                "sketch_backend": "gk",
+                "storage_backend": "simulated",
+                "object_tier": False,
+            },
             "rows": [
                 {
                     key: row[key]

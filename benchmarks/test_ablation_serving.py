@@ -82,7 +82,12 @@ def test_ablation_serving(benchmark):
             for r in doc["overload"]
         ],
     )
-    doc.setdefault("meta", {}).update({"shards": 1, "sketch_backend": "gk"})
+    doc.setdefault("meta", {}).update({
+        "shards": 1,
+        "sketch_backend": "gk",
+        "storage_backend": "simulated",
+        "object_tier": False,
+    })
     # The schema's common table: closed-loop rows plus overload rows.
     doc["rows"] = doc["closed_loop"] + doc["overload"]
     write_bench("serving", doc)

@@ -71,6 +71,12 @@ def _cmd_init(args: argparse.Namespace) -> int:
         print(f"error: {directory} already holds an engine "
               "(use --force to overwrite)", file=sys.stderr)
         return 1
+    storage_dir = args.storage_dir
+    if storage_dir is None and args.storage_backend != "simulated":
+        # A persistent warehouse gets a persistent run directory beside
+        # the checkpoint (never inside: the checkpoint commit dance
+        # renames the directory out from under anything stored there).
+        storage_dir = str(directory) + ".runs"
     config = EngineConfig(
         epsilon=args.epsilon,
         kappa=args.kappa,
@@ -80,11 +86,15 @@ def _cmd_init(args: argparse.Namespace) -> int:
         shared_cache_blocks=args.shared_cache_blocks,
         prefetch_blocks=args.prefetch_blocks,
         sketch_backend=args.sketch_backend,
+        storage_backend=args.storage_backend,
+        storage_dir=storage_dir,
+        object_tier_level=args.object_tier_level,
     )
     engine = HybridQuantileEngine(config=config)
     save_engine(engine, directory)
     print(f"initialized warehouse at {directory} "
-          f"(epsilon={args.epsilon}, kappa={args.kappa})")
+          f"(epsilon={args.epsilon}, kappa={args.kappa}, "
+          f"storage={args.storage_backend})")
     return 0
 
 
@@ -243,6 +253,12 @@ def _cmd_status(args: argparse.Namespace) -> int:
     print(f"historical elems : {engine.n_historical:,} "
           f"({engine.steps_loaded} steps)")
     print(f"live stream elems: {engine.m_stream:,}")
+    print(f"storage backend  : {engine.config.storage_backend}"
+          + (
+              f" ({engine.config.storage_dir})"
+              if engine.config.storage_dir is not None
+              else ""
+          ))
     print(f"memory words     : {memory.total_words:,} "
           f"({memory.total_megabytes:.3f} MB)")
     print(f"window sizes     : {engine.available_window_sizes()}")
@@ -254,12 +270,25 @@ def _cmd_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_backend_stats(engine: HybridQuantileEngine) -> None:
+    """Object-tier request counters (only when the tier is live)."""
+    stats = engine.disk.backend.stats()
+    if not (stats.gets or stats.puts or stats.lists or stats.object_runs):
+        return
+    print(f"object tier      : {stats.object_runs:,} runs cold, "
+          f"{stats.hot_runs:,} hot")
+    print(f"object requests  : {stats.gets:,} GETs "
+          f"({stats.get_blocks:,} blocks), {stats.puts:,} PUTs, "
+          f"{stats.lists:,} LISTs, {stats.migrations:,} migrations")
+
+
 def _cmd_cache_stats(args: argparse.Namespace) -> int:
     engine = load_engine(args.warehouse)
     cache = engine.shared_cache
     if cache is None:
         print("shared cache     : disabled "
               "(re-init with --shared-cache-blocks N to enable)")
+        _print_backend_stats(engine)
         return 0
     if args.warm:
         if engine.n_total == 0:
@@ -278,6 +307,7 @@ def _cmd_cache_stats(args: argparse.Namespace) -> int:
     print(f"invalidated      : {stats.invalidated_blocks:,} blocks over "
           f"{stats.invalidated_runs:,} retired runs")
     print(f"prefetch width   : {engine.config.prefetch_blocks} blocks/run")
+    _print_backend_stats(engine)
     return 0
 
 
@@ -289,6 +319,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         query_workers=args.query_workers, ingest_mode=args.ingest_mode,
         shared_cache_blocks=args.shared_cache_blocks,
         sketch_backend=args.sketch_backend,
+        storage_backend=args.storage_backend,
     )
     plan = _fault_plan_of(args)
     disk: Optional[SimulatedDisk] = None
@@ -303,6 +334,11 @@ def _cmd_demo(args: argparse.Namespace) -> int:
           f"{args.ingest_mode} ingest"
           + (f", update batch {update_batch:,}" if update_batch else "")
           + (", fault injection on" if plan is not None else "")
+          + (
+              f", {args.storage_backend} storage"
+              if args.storage_backend != "simulated"
+              else ""
+          )
           + ")")
     workload.feed(
         engine, args.steps, args.batch, update_batch=update_batch
@@ -323,6 +359,14 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         print(f"shared cache: {cache.hits}/{cache.lookups} hits "
               f"({cache.resident_blocks}/{cache.capacity_blocks} blocks "
               f"resident, {cache.evictions} evictions)")
+    backend_stats = engine.disk.backend.stats()
+    if backend_stats.gets or backend_stats.puts or backend_stats.object_runs:
+        print(f"object tier: {backend_stats.gets} GETs "
+              f"({backend_stats.get_blocks} blocks), "
+              f"{backend_stats.puts} PUTs, "
+              f"{backend_stats.migrations} migrations, "
+              f"{backend_stats.object_runs} runs cold / "
+              f"{backend_stats.hot_runs} hot")
     stats = engine.ingest_stats
     if stats is not None:
         print(f"ingest: stalled {stats.stall_seconds * 1e3:.1f} ms over "
@@ -471,6 +515,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream sketch: gk (deterministic, default) or kll "
              "(randomized, mergeable across shards)",
     )
+    init.add_argument(
+        "--storage-backend", choices=("simulated", "mmap", "object"),
+        default="simulated",
+        help="where run payloads live: simulated (in-memory, default), "
+             "mmap (one file per run), or object (tiered hot files + "
+             "emulated object bucket with GET/PUT accounting)",
+    )
+    init.add_argument(
+        "--storage-dir", metavar="DIR", default=None,
+        help="directory for mmap/object run files "
+             "(default: <warehouse>.runs)",
+    )
+    init.add_argument(
+        "--object-tier-level", type=int, default=1,
+        help="warehouse level at which runs age into the object tier "
+             "(object backend only; default 1)",
+    )
     init.add_argument("--force", action="store_true")
     init.set_defaults(handler=_cmd_init)
 
@@ -573,6 +634,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--sketch-backend", choices=("gk", "kll"), default="gk",
         help="stream sketch: gk (deterministic, default) or kll "
              "(randomized, mergeable across shards)",
+    )
+    demo.add_argument(
+        "--storage-backend", choices=("simulated", "mmap", "object"),
+        default="simulated",
+        help="run the demo on real storage: mmap files or the emulated "
+             "object store (a private tempdir, removed on exit)",
     )
     add_fault_options(demo)
     demo.set_defaults(handler=_cmd_demo)

@@ -38,6 +38,7 @@ exactly as it groups single-engine ones.
 from __future__ import annotations
 
 import time
+from dataclasses import replace
 from pathlib import Path
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
@@ -92,6 +93,29 @@ def shard_wal_dir(root: "str | Path", index: int) -> Path:
     return Path(root) / f"shard-{index:02d}"
 
 
+def shard_storage_dir(root: "str | Path", index: int) -> Path:
+    """Per-shard storage-backend directory (same ``shard-NN`` layout)."""
+    return Path(root) / f"shard-{index:02d}"
+
+
+def shard_config(config: EngineConfig, index: int) -> EngineConfig:
+    """The engine config shard ``index`` runs under.
+
+    File-backed storage backends must not share a directory across
+    shards, so an explicit ``storage_dir`` is specialized to the
+    shard's ``shard-NN/`` subdirectory (mirroring the WAL/checkpoint
+    layout).  A ``None`` directory already gives every shard its own
+    private tempdir, and the simulated backend has no directory at all
+    — both pass through unchanged.
+    """
+    if config.storage_backend == "simulated" or config.storage_dir is None:
+        return config
+    return replace(
+        config,
+        storage_dir=str(shard_storage_dir(config.storage_dir, index)),
+    )
+
+
 class ShardedBlockCache:
     """Routes block touches to the owning shard's per-query cache.
 
@@ -139,22 +163,24 @@ class ShardedBlockCache:
                 f"run {run_id} is not pinned by this cluster snapshot"
             ) from None
 
-    def touch(self, run_id: int, block: int) -> None:
+    def touch(self, run_id: int, block: int) -> int:
         """Charge one block read against the owning shard's disk."""
         shard = self._shard_of(run_id)
         try:
-            self._caches[shard].touch(run_id, block)
+            return self._caches[shard].touch(run_id, block)
         except DiskFault:
             self.failed_shard = shard
             raise
 
     def touch_range(
         self, run_id: int, first_block: int, last_block: int
-    ) -> None:
+    ) -> int:
         """Charge a ranged read against the owning shard's disk."""
         shard = self._shard_of(run_id)
         try:
-            self._caches[shard].touch_range(run_id, first_block, last_block)
+            return self._caches[shard].touch_range(
+                run_id, first_block, last_block
+            )
         except DiskFault:
             self.failed_shard = shard
             raise
@@ -769,7 +795,7 @@ class ClusterEngine:
         else:
             self.shards = [
                 HybridQuantileEngine(
-                    config=config,
+                    config=shard_config(config, index),
                     disk=(
                         FaultyDisk(
                             fault_plan.for_shard(index),

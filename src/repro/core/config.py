@@ -135,6 +135,31 @@ class EngineConfig:
         it off keeps the framing and replay machinery but downgrades
         the durability guarantee to the OS page cache — a benchmark
         escape hatch, not a production setting.
+    storage_backend:
+        Where sorted-run payload bytes live
+        (:mod:`repro.storage.backends`): ``"simulated"`` (default —
+        in-memory arrays, zero real I/O, the deterministic historical
+        behavior), ``"mmap"`` (one real file per run, atomic
+        write/fsync/rename commits, mmap reads), or ``"object"``
+        (tiered: hot run files plus an emulated S3-like bucket that
+        cold levels age into, with GET/PUT/LIST request accounting).
+        Block-level charges — and therefore every answer and every
+        ``DiskStats`` counter — are bit-identical across backends.
+    storage_dir:
+        Directory the ``mmap``/``object`` backends keep their files
+        under.  ``None`` (default) uses a private temporary directory
+        that is removed when the engine closes; checkpoints and
+        clusters pass an explicit directory under their layout.
+    object_tier_level:
+        Tiering policy threshold of the ``object`` backend: a run
+        placed at this warehouse level or deeper migrates from the hot
+        file tier into the object bucket (one PUT), after which its
+        cold reads are GET requests.  Level 0 sends every run straight
+        to the bucket; higher values keep more of the young levels hot.
+    object_get_ms, object_put_ms:
+        Modeled per-request round-trip latency of the emulated object
+        store, in milliseconds, folded into
+        ``SimulatedDisk.simulated_seconds``.
     """
 
     epsilon: float
@@ -161,6 +186,11 @@ class EngineConfig:
     sketch_backend: str = "gk"
     min_gather_shards: int = 0
     wal_fsync: bool = True
+    storage_backend: str = "simulated"
+    storage_dir: Optional[str] = None
+    object_tier_level: int = 1
+    object_get_ms: float = 5.0
+    object_put_ms: float = 10.0
 
     def __post_init__(self) -> None:
         if not 0 < self.epsilon < 1:
@@ -202,6 +232,16 @@ class EngineConfig:
             raise ValueError("sketch_backend must be 'gk' or 'kll'")
         if self.min_gather_shards < 0:
             raise ValueError("min_gather_shards must be >= 0")
+        if self.storage_backend not in ("simulated", "mmap", "object"):
+            raise ValueError(
+                "storage_backend must be 'simulated', 'mmap' or 'object'"
+            )
+        if self.object_tier_level < 0:
+            raise ValueError("object_tier_level must be >= 0")
+        if self.object_get_ms < 0:
+            raise ValueError("object_get_ms must be >= 0")
+        if self.object_put_ms < 0:
+            raise ValueError("object_put_ms must be >= 0")
 
     @property
     def epsilon1(self) -> float:
@@ -264,6 +304,25 @@ class EngineConfig:
         if self.residual_fetch_elems is not None:
             return self.residual_fetch_elems
         return max(math.ceil(1.0 / self.epsilon), self.block_elems)
+
+    def build_storage_backend(self) -> "Any":
+        """Construct the :class:`~repro.storage.backends.BlockDevice`.
+
+        One fresh backend per engine: file-backed backends must not
+        share a directory, so callers needing distinct locations (e.g.
+        cluster shards) derive configs with distinct ``storage_dir``.
+        """
+        from ..storage.backends import ObjectStoreLatency, make_backend
+
+        return make_backend(
+            self.storage_backend,
+            directory=self.storage_dir,
+            object_tier_level=self.object_tier_level,
+            latency=ObjectStoreLatency(
+                seconds_per_get=self.object_get_ms / 1e3,
+                seconds_per_put=self.object_put_ms / 1e3,
+            ),
+        )
 
 
 @dataclass(frozen=True)

@@ -65,6 +65,7 @@ from ..query.executor import QueryExecutor
 from ..sketches.base import QuantileSketch, rank_for_phi
 from ..sketches.gk import GKSketch
 from ..sketches.kll import KLLSketch
+from ..storage.backends import SimulatedBackend
 from ..storage.cache import BlockCache
 from ..storage.disk import SimulatedDisk
 from ..storage.shared_cache import SharedBlockCache
@@ -223,6 +224,17 @@ class HybridQuantileEngine:
         self.disk = disk if disk is not None else SimulatedDisk(
             block_elems=config.block_elems
         )
+        # Install the configured storage backend before any run is
+        # allocated.  A caller-supplied disk keeps a backend it already
+        # carries (e.g. a test exercising a pre-built device); the
+        # engine owns — and closes — only backends it created itself.
+        self._owns_backend = False
+        if (
+            config.storage_backend != "simulated"
+            and isinstance(self.disk.backend, SimulatedBackend)
+        ):
+            self.disk.backend = config.build_storage_backend()
+            self._owns_backend = True
         store_cls = (
             LeveledCompactionStore
             if config.compaction == "leveled"
@@ -306,6 +318,12 @@ class HybridQuantileEngine:
         """
         if self.shared_cache is not None:
             self.shared_cache.invalidate_runs(run_ids)
+        # Release the retired runs' backend storage.  Handles held by
+        # pinned snapshots stay readable: backends materialize a run's
+        # bytes into memory before unlinking its file.
+        backend = self.disk.backend
+        for run_id in run_ids:
+            backend.delete_run(run_id)
 
     def _new_block_cache(self) -> BlockCache:
         """A per-query cache reading through the shared tier (if any)."""
@@ -778,20 +796,30 @@ class HybridQuantileEngine:
     @property
     def epoch_stats(self) -> EpochStats:
         """The epoch layer's counters (pins, bumps, TS merges), with
-        the shared cache's hit/miss/eviction/invalidation counters
-        merged in (zeros when the shared tier is disabled)."""
+        the shared cache's hit/miss/eviction/invalidation counters and
+        the storage backend's request counters merged in (zeros when
+        the shared tier is disabled / the backend is request-free)."""
         stats = self._epochs.stats()
-        if self.shared_cache is None:
-            return stats
-        cs = self.shared_cache.stats()
-        return replace(
-            stats,
-            cache_hits=cs.hits,
-            cache_misses=cs.misses,
-            cache_evictions=cs.evictions,
-            cache_invalidations=cs.invalidated_blocks,
-            cache_resident_blocks=cs.resident_blocks,
-        )
+        if self.shared_cache is not None:
+            cs = self.shared_cache.stats()
+            stats = replace(
+                stats,
+                cache_hits=cs.hits,
+                cache_misses=cs.misses,
+                cache_evictions=cs.evictions,
+                cache_invalidations=cs.invalidated_blocks,
+                cache_resident_blocks=cs.resident_blocks,
+            )
+        bs = self.disk.backend.stats()
+        if bs.gets or bs.get_blocks or bs.puts or bs.migrations:
+            stats = replace(
+                stats,
+                object_gets=bs.gets,
+                object_get_blocks=bs.get_blocks,
+                object_puts=bs.puts,
+                object_migrations=bs.migrations,
+            )
+        return stats
 
     def warm_shared_cache(
         self,
@@ -1204,7 +1232,11 @@ class HybridQuantileEngine:
                     self._wal.close()
                     self._wal = None
             finally:
-                self._query_executor.close()
+                try:
+                    self._query_executor.close()
+                finally:
+                    if self._owns_backend:
+                        self.disk.backend.close()
 
     def __enter__(self) -> "HybridQuantileEngine":
         return self

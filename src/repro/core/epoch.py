@@ -82,6 +82,12 @@ class EpochStats:
     cache_evictions: int = 0
     cache_invalidations: int = 0
     cache_resident_blocks: int = 0
+    #: storage-backend request counters, merged in by
+    #: ``engine.epoch_stats`` (all zero on the simulated/mmap backends).
+    object_gets: int = 0
+    object_get_blocks: int = 0
+    object_puts: int = 0
+    object_migrations: int = 0
 
 
 class EpochRegistry:

@@ -53,13 +53,15 @@ from ..core.config import EngineConfig
 from ..core.engine import HybridQuantileEngine
 from ..ingest.wal import WriteAheadLog, replay_wal
 from ..storage.disk import SimulatedDisk
-from .serialization import dump_sketch, load_stream_sketch
-from .warehouse_store import (
-    PersistenceError,
+from ..storage.fsutil import (
+    RETIRED_SUFFIX,
+    STAGE_SUFFIX,
     fsync_dir,
-    load_store,
-    save_store,
+    retired_path,
+    stage_path,
 )
+from .serialization import dump_sketch, load_stream_sketch
+from .warehouse_store import PersistenceError, load_store, save_store
 
 _ENGINE_FORMAT = "repro-engine-v1"
 ENGINE_FILE = "engine.json"
@@ -67,8 +69,19 @@ SKETCH_FILE = "stream_sketch.bin"
 BUFFER_FILE = "stream_buffer.npy"
 WAREHOUSE_DIR = "warehouse"
 
-STAGE_SUFFIX = ".tmp"
-RETIRED_SUFFIX = ".old"
+__all__ = [
+    "BUFFER_FILE",
+    "CRASH_POINTS",
+    "ENGINE_FILE",
+    "RETIRED_SUFFIX",
+    "SKETCH_FILE",
+    "STAGE_SUFFIX",
+    "SimulatedCrash",
+    "WAREHOUSE_DIR",
+    "load_engine",
+    "recover_checkpoint",
+    "save_engine",
+]
 
 #: Named points the save protocol passes through, in order.  The crash
 #: harness kills a save at each one and asserts recovery.
@@ -96,11 +109,11 @@ def _reach(point: str) -> None:
 
 
 def _stage_path(directory: Path) -> Path:
-    return directory.parent / (directory.name + STAGE_SUFFIX)
+    return stage_path(directory)
 
 
 def _retired_path(directory: Path) -> Path:
-    return directory.parent / (directory.name + RETIRED_SUFFIX)
+    return retired_path(directory)
 
 
 def _is_complete(directory: Path) -> bool:

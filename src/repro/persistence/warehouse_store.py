@@ -24,6 +24,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..storage.disk import SimulatedDisk
+from ..storage.fsutil import atomic_write_json, fsync_dir, fsync_file
 from ..storage.runfile import SortedRun
 from ..warehouse.leveled_store import LeveledStore, SummaryBuilder
 from ..warehouse.partition import Partition
@@ -49,25 +50,6 @@ def _crc32_of(path: Path) -> int:
         for chunk in iter(lambda: handle.read(1 << 20), b""):
             checksum = zlib.crc32(chunk, checksum)
     return checksum
-
-
-def fsync_dir(path: "str | Path") -> None:
-    """Make a directory's entry list durable (best-effort)."""
-    try:
-        fd = os.open(path, os.O_RDONLY)
-    except OSError:
-        return
-    try:
-        os.fsync(fd)
-    except OSError:
-        pass
-    finally:
-        os.close(fd)
-
-
-def _fsync_file(path: Path) -> None:
-    with open(path, "rb") as handle:
-        os.fsync(handle.fileno())
 
 
 def save_store(
@@ -109,7 +91,7 @@ def save_store(
                         shutil.copy2(source, path)
                 else:
                     np.save(path, partition.run.values)
-                    _fsync_file(path)
+                    fsync_file(path)
             level_entries.append(
                 {
                     "file": filename,
@@ -137,15 +119,10 @@ def save_store(
 
 
 def _write_manifest(directory: Path, manifest: dict) -> Path:
-    """Atomically replace the manifest (write-to-temp + rename)."""
-    manifest_path = directory / MANIFEST_NAME
-    temp_path = directory / (MANIFEST_NAME + ".tmp")
-    with open(temp_path, "w", encoding="utf-8") as handle:
-        json.dump(manifest, handle, indent=2)
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(temp_path, manifest_path)
-    return manifest_path
+    """Atomically replace the manifest (the shared fsutil dance)."""
+    return atomic_write_json(
+        directory / MANIFEST_NAME, manifest, sync_dir=False
+    )
 
 
 def _salvage_partition(path: Path, entry: dict) -> Optional[np.ndarray]:

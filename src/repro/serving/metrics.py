@@ -72,6 +72,10 @@ class MetricsSnapshot:
     #: answers produced by a partial cluster gather (missing shards,
     #: widened bounds) — nonzero only when serving a degraded cluster.
     partial_gathers: int = 0
+    #: storage-backend request counters pulled from the engine at
+    #: snapshot time (all zero off the object backend).
+    object_gets: int = 0
+    object_puts: int = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -186,13 +190,16 @@ class ServiceMetrics:
         queue_depth: int = 0,
         rejected: Optional[Dict[str, int]] = None,
         cache: Optional[object] = None,
+        backend: Optional[object] = None,
     ) -> MetricsSnapshot:
         """Assemble one consistent :class:`MetricsSnapshot`.
 
         ``queue_depth`` and ``rejected`` live with the admission
         controller; the service passes them in, together with the
         engine's :class:`~repro.storage.shared_cache.SharedCacheStats`
-        as ``cache`` when the shared tier is enabled.
+        as ``cache`` when the shared tier is enabled and the storage
+        backend's :class:`~repro.storage.backends.BackendStats` as
+        ``backend`` when the engine exposes one.
         """
         # Latency summaries read sketch snapshots outside the counter
         # lock (each sketch copy-on-queries under its own lock).
@@ -217,4 +224,6 @@ class ServiceMetrics:
                 warm_passes=self._warm_passes,
                 warm_blocks=self._warm_blocks,
                 partial_gathers=self._partial_gathers,
+                object_gets=getattr(backend, "gets", 0),
+                object_puts=getattr(backend, "puts", 0),
             )

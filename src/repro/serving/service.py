@@ -199,10 +199,13 @@ class QueryService:
     def metrics_snapshot(self) -> MetricsSnapshot:
         """One consistent reading of every service counter."""
         shared = self.engine.shared_cache
+        disk = getattr(self.engine, "disk", None)
+        backend = getattr(disk, "backend", None)
         return self.metrics.snapshot(
             queue_depth=self.queue_depth,
             rejected=self.admission.rejections(),
             cache=shared.stats() if shared is not None else None,
+            backend=backend.stats() if backend is not None else None,
         )
 
     def _maybe_warm(

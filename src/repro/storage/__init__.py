@@ -2,9 +2,23 @@
 
 The paper's evaluation counts disk accesses on a real laptop disk; this
 package reproduces that accounting with a simulated block device (see
-DESIGN.md section 3 for the substitution rationale).
+DESIGN.md section 3 for the substitution rationale).  Payload bytes
+live behind the pluggable :mod:`~repro.storage.backends` protocol —
+in-memory (default), real mmap-backed files, or an emulated object
+store — without changing what the block model charges.
 """
 
+from .backends import (
+    BACKEND_NAMES,
+    BackendStats,
+    BlockDevice,
+    MmapFileBackend,
+    ObjectStoreBackend,
+    ObjectStoreLatency,
+    RunHandle,
+    SimulatedBackend,
+    make_backend,
+)
 from .cache import BlockCache
 from .disk import SimulatedDisk
 from .external_sort import ExternalSorter, merge_runs
@@ -13,11 +27,20 @@ from .shared_cache import SharedBlockCache, SharedCacheStats
 from .stats import DiskLatencyModel, DiskStats, IoCounters
 
 __all__ = [
+    "BACKEND_NAMES",
+    "BackendStats",
     "BlockCache",
+    "BlockDevice",
+    "MmapFileBackend",
+    "ObjectStoreBackend",
+    "ObjectStoreLatency",
+    "RunHandle",
     "SharedBlockCache",
     "SharedCacheStats",
+    "SimulatedBackend",
     "SimulatedDisk",
     "ExternalSorter",
+    "make_backend",
     "merge_runs",
     "SortedRun",
     "DiskLatencyModel",

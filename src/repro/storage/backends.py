@@ -1,0 +1,568 @@
+"""Pluggable block-device backends for sorted-run storage.
+
+`SimulatedDisk` models the *cost* of block I/O; this module supplies
+the *bytes*.  A :class:`BlockDevice` owns the payload of every sorted
+run and hands out :class:`RunHandle` objects that `SortedRun` reads
+through.  Three implementations ship:
+
+``SimulatedBackend``
+    Today's in-memory arrays, unchanged — the deterministic default.
+    Zero real I/O, zero added latency.
+
+``MmapFileBackend``
+    One real file per run under a directory, committed with the
+    atomic write/fsync/rename discipline of :mod:`repro.storage.fsutil`
+    and read back through ``numpy`` memory maps, so block probes touch
+    the page cache instead of a resident copy.
+
+``ObjectStoreBackend``
+    An S3-like emulation over a local bucket directory.  Runs are born
+    in a hot file tier; the warehouse ages cold levels into the bucket
+    (:meth:`place_run`), after which every *charged* block read becomes
+    a GET request with per-request latency and GET/PUT/LIST counters.
+
+The contract that keeps the repo's equivalence moat intact: backends
+never change *what* is charged — `DiskStats` block counters are driven
+by the existing charge paths and stay bit-identical across all three.
+Backends only add request-level accounting (and real bytes) on top:
+`SortedRun` calls :meth:`RunHandle.note_random_read` /
+:meth:`RunHandle.note_sequential_read` exactly when blocks were
+actually charged, so a shared-cache or per-query-cache hit never turns
+into an object GET.
+"""
+
+from __future__ import annotations
+
+import io
+import shutil
+import tempfile
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+from .fsutil import atomic_write_bytes, fsync_dir, remove_stale_stages
+
+#: recognised values of ``EngineConfig.storage_backend``.
+BACKEND_NAMES = ("simulated", "mmap", "object")
+
+#: tier labels reported by :attr:`RunHandle.tier`.
+MEMORY_TIER = "memory"
+FILE_TIER = "file"
+OBJECT_TIER = "object"
+
+
+@dataclass(frozen=True)
+class ObjectStoreLatency:
+    """Per-request latency model of the emulated object store.
+
+    Request setup dominates object-store reads, so latency is charged
+    per GET/PUT plus a small per-block streaming term — this is what
+    makes ranged GETs (one request, many blocks) worth planning for.
+    """
+
+    seconds_per_get: float = 5e-3
+    seconds_per_get_block: float = 1e-4
+    seconds_per_put: float = 1e-2
+    seconds_per_list: float = 2e-3
+
+    def __post_init__(self) -> None:
+        for field in (
+            "seconds_per_get",
+            "seconds_per_get_block",
+            "seconds_per_put",
+            "seconds_per_list",
+        ):
+            if getattr(self, field) < 0:
+                raise ValueError(f"{field} must be >= 0")
+
+
+@dataclass(frozen=True)
+class BackendStats:
+    """Snapshot of request-level backend accounting.
+
+    All-zero for the simulated and mmap backends; the object backend
+    counts every request against the bucket.  ``get_blocks`` is the
+    total blocks streamed across GETs, so ``get_blocks / gets`` is the
+    mean ranged-GET width the prefetcher achieved.
+    """
+
+    gets: int = 0
+    get_blocks: int = 0
+    puts: int = 0
+    lists: int = 0
+    migrations: int = 0
+    hot_runs: int = 0
+    object_runs: int = 0
+
+    def delta_since(self, earlier: "BackendStats") -> "BackendStats":
+        """Counter deltas relative to an ``earlier`` snapshot."""
+        return BackendStats(
+            gets=self.gets - earlier.gets,
+            get_blocks=self.get_blocks - earlier.get_blocks,
+            puts=self.puts - earlier.puts,
+            lists=self.lists - earlier.lists,
+            migrations=self.migrations - earlier.migrations,
+            hot_runs=self.hot_runs,
+            object_runs=self.object_runs,
+        )
+
+
+@runtime_checkable
+class RunHandle(Protocol):
+    """Read path of one sorted run inside a backend."""
+
+    run_id: int
+
+    @property
+    def tier(self) -> str:
+        """Current tier label (``memory`` / ``file`` / ``object``)."""
+
+    @property
+    def data(self) -> np.ndarray:
+        """The run's payload as a read-only (possibly mapped) array."""
+
+    def note_random_read(self, requests: int, blocks: int) -> None:
+        """Record ``requests`` random reads totalling ``blocks`` charged blocks."""
+
+    def note_sequential_read(self, blocks: int) -> None:
+        """Record one sequential pass over ``blocks`` charged blocks."""
+
+
+@runtime_checkable
+class BlockDevice(Protocol):
+    """What a storage backend must provide to the engine.
+
+    The engine allocates a run per sorted array, routes every charged
+    read through the run's handle, asks :meth:`place_run` to apply the
+    tiering policy when the warehouse (re)levels a run, and deletes
+    runs as compaction retires them.  ``fsync`` hardens any buffered
+    state; ``close`` releases resources (and removes any owned
+    temporary directory).
+    """
+
+    name: str
+
+    def allocate_run(self, run_id: int, data: np.ndarray) -> RunHandle:
+        """Persist ``data`` as run ``run_id`` and return its handle."""
+
+    def delete_run(self, run_id: int) -> None:
+        """Release run ``run_id`` (pinned handles keep reading)."""
+
+    def place_run(self, run_id: int, level: int) -> None:
+        """Apply the tiering policy for a run now living at ``level``."""
+
+    def fsync(self) -> None:
+        """Harden all buffered backend state."""
+
+    def stats(self) -> BackendStats:
+        """Snapshot request-level counters."""
+
+    def simulated_seconds(self) -> float:
+        """Modeled request latency accrued so far, in seconds."""
+
+    def close(self) -> None:
+        """Release resources; owned temporary directories are removed."""
+
+
+def _as_npy_bytes(data: np.ndarray) -> bytes:
+    buffer = io.BytesIO()
+    np.save(buffer, data, allow_pickle=False)
+    return buffer.getvalue()
+
+
+class _SimulatedHandle:
+    """Handle over a resident in-memory array (no request accounting)."""
+
+    __slots__ = ("run_id", "_data")
+
+    def __init__(self, run_id: int, data: np.ndarray) -> None:
+        self.run_id = run_id
+        self._data = data
+
+    @property
+    def tier(self) -> str:
+        return MEMORY_TIER
+
+    @property
+    def data(self) -> np.ndarray:
+        return self._data
+
+    def note_random_read(self, requests: int, blocks: int) -> None:
+        return None
+
+    def note_sequential_read(self, blocks: int) -> None:
+        return None
+
+
+class SimulatedBackend:
+    """The deterministic default: runs live as in-memory arrays.
+
+    Behaviourally identical to the pre-backend engine — allocation
+    copies the array once (as `SortedRun` always did) and reads return
+    views of it.  Request counters stay zero.
+    """
+
+    name = "simulated"
+
+    def __init__(self) -> None:
+        self._runs: Dict[int, np.ndarray] = {}
+        self._lock = threading.Lock()
+
+    def allocate_run(self, run_id: int, data: np.ndarray) -> _SimulatedHandle:
+        stored = np.array(data, copy=True)
+        stored.setflags(write=False)
+        with self._lock:
+            self._runs[run_id] = stored
+        return _SimulatedHandle(run_id, stored)
+
+    def delete_run(self, run_id: int) -> None:
+        # Handles hold their own reference, so pinned snapshot readers
+        # keep working after the backend forgets the run.
+        with self._lock:
+            self._runs.pop(run_id, None)
+
+    def place_run(self, run_id: int, level: int) -> None:
+        return None
+
+    def fsync(self) -> None:
+        return None
+
+    def stats(self) -> BackendStats:
+        with self._lock:
+            return BackendStats(hot_runs=len(self._runs))
+
+    def simulated_seconds(self) -> float:
+        return 0.0
+
+    def close(self) -> None:
+        with self._lock:
+            self._runs.clear()
+
+
+class _FileHandle:
+    """Lazy mmap view of a run file; pins bytes in RAM once deleted."""
+
+    __slots__ = ("run_id", "_backend", "_path", "_mapped", "_resident", "_lock")
+
+    def __init__(self, backend: "MmapFileBackend", run_id: int, path: Path) -> None:
+        self.run_id = run_id
+        self._backend = backend
+        self._path = path
+        self._mapped: Optional[np.ndarray] = None
+        self._resident: Optional[np.ndarray] = None
+        self._lock = threading.Lock()
+
+    @property
+    def tier(self) -> str:
+        if self._resident is not None:
+            return MEMORY_TIER
+        return self._backend._tier_of(self.run_id)
+
+    @property
+    def data(self) -> np.ndarray:
+        with self._lock:
+            if self._resident is not None:
+                return self._resident
+            if self._mapped is None:
+                self._mapped = np.load(self._backend._path_of(self.run_id), mmap_mode="r")
+            return self._mapped
+
+    def _materialize(self) -> None:
+        """Copy the mapped bytes into RAM before the file disappears."""
+        with self._lock:
+            if self._resident is None:
+                source = self._mapped
+                if source is None:
+                    try:
+                        source = np.load(
+                            self._backend._path_of(self.run_id), mmap_mode="r"
+                        )
+                    except (OSError, ValueError):
+                        source = None
+                if source is not None:
+                    resident = np.array(source, copy=True)
+                    resident.setflags(write=False)
+                    self._resident = resident
+                self._mapped = None
+
+    def note_random_read(self, requests: int, blocks: int) -> None:
+        self._backend._note_random_read(self.run_id, requests, blocks)
+
+    def note_sequential_read(self, blocks: int) -> None:
+        self._backend._note_sequential_read(self.run_id, blocks)
+
+
+class MmapFileBackend:
+    """One ``run-<id>.npy`` file per sorted run, read through mmap.
+
+    Files commit via :func:`repro.storage.fsutil.atomic_write_bytes`,
+    so a crash leaves either the full previous state or the full new
+    run, never a torn file.  :meth:`fsck` (run at startup) removes
+    staging orphans left by a crash between write and rename.
+    """
+
+    name = "mmap"
+    _RUN_PREFIX = "run-"
+
+    def __init__(self, directory: "str | Path | None" = None) -> None:
+        if directory is None:
+            self._directory = Path(tempfile.mkdtemp(prefix="repro-mmap-"))
+            self._owns_directory = True
+        else:
+            self._directory = Path(directory)
+            self._directory.mkdir(parents=True, exist_ok=True)
+            self._owns_directory = False
+        self._handles: Dict[int, _FileHandle] = {}
+        self._lock = threading.Lock()
+        self.fsck()
+
+    # -- layout ---------------------------------------------------------
+
+    @property
+    def directory(self) -> Path:
+        """Root directory holding the run files."""
+        return self._directory
+
+    def _path_of(self, run_id: int) -> Path:
+        return self._directory / f"{self._RUN_PREFIX}{run_id}.npy"
+
+    def _tier_of(self, run_id: int) -> str:
+        return FILE_TIER
+
+    def fsck(self) -> "list[Path]":
+        """Remove crash leftovers (staging orphans); return what was removed."""
+        return remove_stale_stages(self._directory)
+
+    # Request accounting is an object-store concern; the file tier has
+    # no per-request cost (its reads are page-cache hits via mmap).
+    def _note_random_read(self, run_id: int, requests: int, blocks: int) -> None:
+        return None
+
+    def _note_sequential_read(self, run_id: int, blocks: int) -> None:
+        return None
+
+    # -- BlockDevice ----------------------------------------------------
+
+    def allocate_run(self, run_id: int, data: np.ndarray) -> _FileHandle:
+        atomic_write_bytes(self._path_of(run_id), _as_npy_bytes(data))
+        handle = _FileHandle(self, run_id, self._path_of(run_id))
+        with self._lock:
+            self._handles[run_id] = handle
+        return handle
+
+    def delete_run(self, run_id: int) -> None:
+        with self._lock:
+            handle = self._handles.pop(run_id, None)
+        if handle is not None:
+            handle._materialize()
+        path = self._path_of(run_id)
+        if path.exists():
+            path.unlink()
+            fsync_dir(self._directory)
+
+    def place_run(self, run_id: int, level: int) -> None:
+        return None
+
+    def fsync(self) -> None:
+        fsync_dir(self._directory)
+
+    def stats(self) -> BackendStats:
+        with self._lock:
+            return BackendStats(hot_runs=len(self._handles))
+
+    def simulated_seconds(self) -> float:
+        return 0.0
+
+    def close(self) -> None:
+        with self._lock:
+            handles = list(self._handles.values())
+            self._handles.clear()
+        for handle in handles:
+            with handle._lock:
+                handle._mapped = None
+        if self._owns_directory:
+            shutil.rmtree(self._directory, ignore_errors=True)
+
+
+class ObjectStoreBackend(MmapFileBackend):
+    """S3-like tiered store: hot run files plus a local bucket directory.
+
+    Runs are allocated into ``hot/`` exactly like the mmap backend.
+    When the warehouse places a run at a level at or beyond
+    ``object_tier_level``, the run migrates into ``objects/`` (one
+    atomic PUT) and its hot file is dropped.  From then on every
+    *charged* read of the run is an object request: one GET per random
+    probe, one ranged GET per contiguous prefetched range, with
+    modeled latency from :class:`ObjectStoreLatency` folded into
+    ``SimulatedDisk.simulated_seconds``.
+    """
+
+    name = "object"
+
+    def __init__(
+        self,
+        directory: "str | Path | None" = None,
+        object_tier_level: int = 1,
+        latency: Optional[ObjectStoreLatency] = None,
+    ) -> None:
+        if object_tier_level < 0:
+            raise ValueError("object_tier_level must be >= 0")
+        self.object_tier_level = object_tier_level
+        self.latency = latency if latency is not None else ObjectStoreLatency()
+        self._object_runs: "set[int]" = set()
+        self._gets = 0
+        self._get_blocks = 0
+        self._puts = 0
+        self._lists = 0
+        self._migrations = 0
+        super().__init__(directory)
+        self._bucket.mkdir(parents=True, exist_ok=True)
+        self._list_bucket()
+
+    # -- layout ---------------------------------------------------------
+
+    @property
+    def _hot(self) -> Path:
+        return self._directory / "hot"
+
+    @property
+    def _bucket(self) -> Path:
+        return self._directory / "objects"
+
+    def _path_of(self, run_id: int) -> Path:
+        if run_id in self._object_runs:
+            return self._bucket / f"{self._RUN_PREFIX}{run_id}.npy"
+        return self._hot / f"{self._RUN_PREFIX}{run_id}.npy"
+
+    def _tier_of(self, run_id: int) -> str:
+        return OBJECT_TIER if run_id in self._object_runs else FILE_TIER
+
+    def fsck(self) -> "list[Path]":
+        """Remove crash leftovers in both tiers; counts one LIST per scan."""
+        self._hot.mkdir(parents=True, exist_ok=True)
+        removed = remove_stale_stages(self._hot)
+        removed += remove_stale_stages(self._bucket)
+        return removed
+
+    def _list_bucket(self) -> None:
+        with self._lock:
+            self._lists += 1
+            for entry in sorted(self._bucket.glob(f"{self._RUN_PREFIX}*.npy")):
+                try:
+                    run_id = int(entry.stem[len(self._RUN_PREFIX):])
+                except ValueError:
+                    continue
+                self._object_runs.add(run_id)
+
+    # -- request accounting --------------------------------------------
+
+    def _note_random_read(self, run_id: int, requests: int, blocks: int) -> None:
+        if run_id not in self._object_runs:
+            return
+        with self._lock:
+            self._gets += requests
+            self._get_blocks += blocks
+
+    def _note_sequential_read(self, run_id: int, blocks: int) -> None:
+        if run_id not in self._object_runs:
+            return
+        with self._lock:
+            self._gets += 1
+            self._get_blocks += blocks
+
+    # -- BlockDevice ----------------------------------------------------
+
+    def allocate_run(self, run_id: int, data: np.ndarray) -> _FileHandle:
+        self._hot.mkdir(parents=True, exist_ok=True)
+        return super().allocate_run(run_id, data)
+
+    def place_run(self, run_id: int, level: int) -> None:
+        """Age a run into the bucket once its level is cold enough."""
+        if level < self.object_tier_level or run_id in self._object_runs:
+            return
+        with self._lock:
+            handle = self._handles.get(run_id)
+        hot_path = self._hot / f"{self._RUN_PREFIX}{run_id}.npy"
+        if not hot_path.exists():
+            return
+        if handle is not None:
+            # Drop the hot mapping before the file moves tiers.
+            with handle._lock:
+                handle._mapped = None
+        object_path = self._bucket / f"{self._RUN_PREFIX}{run_id}.npy"
+        atomic_write_bytes(object_path, hot_path.read_bytes())
+        with self._lock:
+            self._puts += 1
+            self._migrations += 1
+            self._object_runs.add(run_id)
+        hot_path.unlink()
+        fsync_dir(self._hot)
+
+    def delete_run(self, run_id: int) -> None:
+        super().delete_run(run_id)
+        with self._lock:
+            self._object_runs.discard(run_id)
+
+    def stats(self) -> BackendStats:
+        with self._lock:
+            object_count = len(self._object_runs)
+            return BackendStats(
+                gets=self._gets,
+                get_blocks=self._get_blocks,
+                puts=self._puts,
+                lists=self._lists,
+                migrations=self._migrations,
+                hot_runs=len(self._handles) - object_count
+                if len(self._handles) >= object_count
+                else 0,
+                object_runs=object_count,
+            )
+
+    def simulated_seconds(self) -> float:
+        with self._lock:
+            model = self.latency
+            return (
+                self._gets * model.seconds_per_get
+                + self._get_blocks * model.seconds_per_get_block
+                + self._puts * model.seconds_per_put
+                + self._lists * model.seconds_per_list
+            )
+
+
+def make_backend(
+    name: str,
+    directory: "str | Path | None" = None,
+    object_tier_level: int = 1,
+    latency: Optional[ObjectStoreLatency] = None,
+) -> "SimulatedBackend | MmapFileBackend":
+    """Build the backend named by ``EngineConfig.storage_backend``."""
+    if name == "simulated":
+        return SimulatedBackend()
+    if name == "mmap":
+        return MmapFileBackend(directory)
+    if name == "object":
+        return ObjectStoreBackend(
+            directory, object_tier_level=object_tier_level, latency=latency
+        )
+    raise ValueError(
+        f"unknown storage backend {name!r}; expected one of {BACKEND_NAMES}"
+    )
+
+
+__all__ = [
+    "BACKEND_NAMES",
+    "BackendStats",
+    "BlockDevice",
+    "FILE_TIER",
+    "MEMORY_TIER",
+    "MmapFileBackend",
+    "OBJECT_TIER",
+    "ObjectStoreBackend",
+    "ObjectStoreLatency",
+    "RunHandle",
+    "SimulatedBackend",
+    "make_backend",
+]

@@ -103,12 +103,18 @@ class BlockCache:
             self.blocks_charged += blocks
             self.blocks_per_run[run_id] += blocks
 
-    def touch(self, run_id: int, block: int) -> None:
-        """Charge a random read of ``block`` in run ``run_id`` if new."""
+    def touch(self, run_id: int, block: int) -> int:
+        """Charge a random read of ``block`` in run ``run_id`` if new.
+
+        Returns the number of blocks actually charged to the disk (0 on
+        a per-query or shared-tier hit, 1 on a miss).  Callers use the
+        return value to decide whether the read reached the storage
+        backend — a cache hit must never become an object-store GET.
+        """
         with self._lock_for(run_id):
             seen = self._seen.setdefault(run_id, set())
             if self._enabled and block in seen:
-                return
+                return 0
             # Charge before recording: the charge may raise an injected
             # DiskFault, and a block whose read failed must not look
             # cached to the retried probe.
@@ -120,20 +126,22 @@ class BlockCache:
                 if hit:
                     with self._count_lock:
                         self.shared_hits += 1
-                    return
+                    return 0
             else:
                 self._disk.charge_random_read(1)
                 seen.add(block)
             self._charge(run_id, 1)
+            return 1
 
-    def touch_range(self, run_id: int, first_block: int, last_block: int) -> None:
+    def touch_range(self, run_id: int, first_block: int, last_block: int) -> int:
         """Charge reads for every new block in [first_block, last_block].
 
         The unseen blocks of the range are charged in a single ranged
         random read (one ``charge_random_read(n)`` call), so residual
         fetches and prefetch pay one disk *operation* per partition
         while the charged block count stays identical to the historical
-        block-at-a-time loop.
+        block-at-a-time loop.  Returns the total blocks charged (cache
+        hits excluded), mirroring :meth:`touch`.
         """
         with self._lock_for(run_id):
             seen = self._seen.setdefault(run_id, set())
@@ -143,7 +151,8 @@ class BlockCache:
             else:
                 new = list(blocks)
             if not new:
-                return
+                return 0
+            charged = 0
             if self._shared is not None:
                 # Contiguous sub-ranges of the unseen blocks, so the
                 # shared tier sees ranged lookups (and charges each
@@ -158,12 +167,15 @@ class BlockCache:
                             self.shared_hits += hits
                     if misses:
                         self._charge(run_id, misses)
+                        charged += misses
             else:
                 # Charge-before-record, as in touch(): a DiskFault in
                 # the ranged read leaves every block of it uncached.
                 self._disk.charge_random_read(len(new))
                 seen.update(new)
                 self._charge(run_id, len(new))
+                charged = len(new)
+            return charged
 
     def max_blocks_per_run(self) -> int:
         """Deepest per-partition read chain (parallel critical path)."""

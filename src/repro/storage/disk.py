@@ -20,11 +20,15 @@ losing counts.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
+from .backends import SimulatedBackend
 from .stats import DiskLatencyModel, DiskStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .backends import BlockDevice
 
 
 class SimulatedDisk:
@@ -40,18 +44,30 @@ class SimulatedDisk:
     latency:
         Optional latency model used to convert access counts into
         simulated seconds.
+    backend:
+        Optional :class:`~repro.storage.backends.BlockDevice` that owns
+        the payload bytes of every run allocated from this disk.
+        Defaults to the in-memory
+        :class:`~repro.storage.backends.SimulatedBackend`, which keeps
+        historical behaviour bit-identical.  Backends never change what
+        is *charged* — they add real bytes and request-level accounting
+        (object GET/PUT) on top of the block counters.
     """
 
     def __init__(
         self,
         block_elems: int = 4096,
         latency: Optional[DiskLatencyModel] = None,
+        backend: "Optional[BlockDevice]" = None,
     ) -> None:
         if block_elems < 1:
             raise ValueError("block_elems must be >= 1")
         self.block_elems = block_elems
         self.stats = DiskStats()
         self.latency = latency if latency is not None else DiskLatencyModel()
+        self.backend: "BlockDevice" = (
+            backend if backend is not None else SimulatedBackend()
+        )
 
     def blocks_for(self, num_elems: int) -> int:
         """Number of blocks occupied by ``num_elems`` elements."""
@@ -91,5 +107,9 @@ class SimulatedDisk:
         self.stats.record_random_read(blocks)
 
     def simulated_seconds(self) -> float:
-        """Total simulated time for all accesses so far."""
-        return self.latency.seconds(self.stats.counters)
+        """Total simulated time for all accesses so far.
+
+        Block-model latency plus whatever request latency the storage
+        backend accrued (e.g. object-store GET/PUT round trips).
+        """
+        return self.latency.seconds(self.stats.counters) + self.backend.simulated_seconds()

@@ -5,6 +5,16 @@ of int64 values living on a :class:`~repro.storage.disk.SimulatedDisk`.
 All random access goes through a :class:`~repro.storage.cache.BlockCache`
 so queries are charged block-granular I/O, and the block-confinement
 optimization of Section 2.4 falls out of the cache for free.
+
+The payload bytes live in the disk's pluggable storage backend
+(:mod:`repro.storage.backends`): the run allocates a
+:class:`~repro.storage.backends.RunHandle` at construction and reads
+through it, so the same access paths work whether the bytes are a
+resident array (simulated), a memory-mapped file, or an emulated
+object-store bucket.  Whenever a read actually *charges* blocks (i.e.
+it was not absorbed by a cache tier), the run reports the request to
+the handle — that is how cold object-tier reads become GETs while
+cache hits stay free.
 """
 
 from __future__ import annotations
@@ -47,18 +57,28 @@ class SortedRun:
         if len(arr) > 1 and np.any(arr[1:] < arr[:-1]):
             raise ValueError("SortedRun requires sorted input")
         self._disk = disk
-        self._data = arr.copy()
+        self._length = len(arr)
         self.run_id = next(_run_ids)
+        self._handle = disk.backend.allocate_run(self.run_id, arr)
         if charge_write:
-            disk.charge_sequential_write(len(self._data))
+            disk.charge_sequential_write(self._length)
 
     def __len__(self) -> int:
-        return len(self._data)
+        return self._length
 
     @property
     def disk(self) -> SimulatedDisk:
         """The simulated device backing this run."""
         return self._disk
+
+    @property
+    def tier(self) -> str:
+        """Storage tier currently holding the run's bytes."""
+        return self._handle.tier
+
+    @property
+    def _data(self) -> np.ndarray:
+        return self._handle.data
 
     @property
     def values(self) -> np.ndarray:
@@ -108,9 +128,12 @@ class SortedRun:
         first = self._disk.block_of(lo)
         last = self._disk.block_of(hi - 1)
         if cache is not None:
-            cache.touch_range(self.run_id, first, last)
+            charged = cache.touch_range(self.run_id, first, last)
         else:
-            self._disk.charge_random_read(last - first + 1)
+            charged = last - first + 1
+            self._disk.charge_random_read(charged)
+        if charged:
+            self._handle.note_random_read(1, charged)
         return self._data[lo:hi].copy()
 
     def read_block_range(
@@ -129,19 +152,24 @@ class SortedRun:
         disk *operations* shrinks.  Returns the elements stored in the
         range (clamped to the run's extent).
         """
-        if first_block > last_block:
+        if first_block > last_block or not self._length:
             return np.empty(0, dtype=np.int64)
-        last_valid = self._disk.block_of(len(self._data) - 1) if len(self._data) else -1
+        last_valid = self._disk.block_of(self._length - 1)
         first_block = max(first_block, 0)
         last_block = min(last_block, last_valid)
         if first_block > last_block:
+            # Entirely past the end of the run (or an empty clamp):
+            # nothing to read, nothing charged.
             return np.empty(0, dtype=np.int64)
         if cache is not None:
-            cache.touch_range(self.run_id, first_block, last_block)
+            charged = cache.touch_range(self.run_id, first_block, last_block)
         else:
-            self._disk.charge_random_read(last_block - first_block + 1)
+            charged = last_block - first_block + 1
+            self._disk.charge_random_read(charged)
+        if charged:
+            self._handle.note_random_read(1, charged)
         lo = first_block * self._disk.block_elems
-        hi = min((last_block + 1) * self._disk.block_elems, len(self._data))
+        hi = min((last_block + 1) * self._disk.block_elems, self._length)
         return self._data[lo:hi].copy()
 
     def rank_of(
@@ -178,11 +206,15 @@ class SortedRun:
 
     def scan(self) -> np.ndarray:
         """Sequentially read the whole run, charging sequential I/O."""
-        self._disk.charge_sequential_read(len(self._data))
+        self._disk.charge_sequential_read(self._length)
+        self._handle.note_sequential_read(self._disk.blocks_for(self._length))
         return self._data.copy()
 
     def _charge_block(self, block: int, cache: Optional[BlockCache]) -> None:
         if cache is not None:
-            cache.touch(self.run_id, block)
+            charged = cache.touch(self.run_id, block)
         else:
             self._disk.charge_random_read(1)
+            charged = 1
+        if charged:
+            self._handle.note_random_read(1, charged)

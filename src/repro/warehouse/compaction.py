@@ -101,6 +101,9 @@ class LeveledCompactionStore(LeveledStore):
         )
         self._attach_summary(merged)
         self._levels[level] = [merged]
+        # Same tiering hook as the tiered store: the compacted run's
+        # level decides whether the backend ages it to the object tier.
+        self.disk.backend.place_run(merged_run.run_id, level)
         if self.on_retire is not None:
             self.on_retire([p.run.run_id for p in victims])
 

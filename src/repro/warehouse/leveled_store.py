@@ -271,6 +271,10 @@ class LeveledStore:
         self._attach_summary(merged)
         self._levels[level] = []
         self._levels[level + 1].append(merged)
+        # Tiering policy: the merged run now lives at a deeper (colder)
+        # level — let the storage backend age it out (e.g. migrate it
+        # into the object tier once past ``object_tier_level``).
+        self.disk.backend.place_run(merged_run.run_id, level + 1)
         if self.on_retire is not None:
             self.on_retire([p.run.run_id for p in victims])
 
@@ -299,6 +303,11 @@ class LeveledStore:
                 for partition in level:
                     if partition.summary is None:
                         self._attach_summary(partition)
+                    # Restored runs resume their tier placement: cold
+                    # levels age straight back into the object tier.
+                    self.disk.backend.place_run(
+                        partition.run.run_id, partition.level
+                    )
             self._steps_loaded = max(
                 (p.end_step for p in self.partitions()), default=0
             )

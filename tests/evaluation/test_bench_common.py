@@ -1,5 +1,6 @@
 """Tests for the benchmark harness's shared sizing helpers."""
 
+import json
 import sys
 from pathlib import Path
 
@@ -34,6 +35,58 @@ class TestScaleMapping:
     def test_all_workloads_panel_order(self):
         names = [w.name for w in common.all_workloads()]
         assert names == ["uniform", "normal", "wikipedia", "network"]
+
+
+def _valid_doc():
+    return {
+        "benchmark": "demo",
+        "meta": {
+            "shards": 1,
+            "sketch_backend": "gk",
+            "storage_backend": "simulated",
+            "object_tier": False,
+        },
+        "rows": [{"x": 1}],
+    }
+
+
+class TestBenchSchema:
+    def test_valid_doc_passes(self):
+        common.validate_bench_doc(_valid_doc())
+
+    def test_missing_storage_backend_rejected(self):
+        doc = _valid_doc()
+        del doc["meta"]["storage_backend"]
+        try:
+            common.validate_bench_doc(doc)
+        except ValueError as exc:
+            assert "storage_backend" in str(exc)
+        else:
+            raise AssertionError("schema accepted missing storage_backend")
+
+    def test_unknown_storage_backend_rejected(self):
+        doc = _valid_doc()
+        doc["meta"]["storage_backend"] = "tape"
+        try:
+            common.validate_bench_doc(doc)
+        except ValueError as exc:
+            assert "storage_backend" in str(exc)
+        else:
+            raise AssertionError("schema accepted unknown storage_backend")
+
+    def test_object_tier_must_be_bool(self):
+        doc = _valid_doc()
+        doc["meta"]["object_tier"] = "yes"
+        try:
+            common.validate_bench_doc(doc)
+        except ValueError as exc:
+            assert "object_tier" in str(exc)
+        else:
+            raise AssertionError("schema accepted non-bool object_tier")
+
+    def test_committed_artifacts_match_schema(self):
+        for path in sorted(common.BENCH_DIR.glob("BENCH_*.json")):
+            common.validate_bench_doc(json.loads(path.read_text()))
 
 
 class TestEngineFactories:
