@@ -1,0 +1,227 @@
+"""Ablation A14: the cold-read fast path under concurrent clients.
+
+The perf claim of the cold-read PR: ranged partial-object GETs with a
+fetched-block registry, break-even readahead and single-flight fetch
+coalescing cut the object tier's *request* traffic — GET count and
+modeled request latency — by >= 5x on a 32-client cold accurate
+scatter, while the *charge* layer (the paper's modeled block I/O) and
+every answer stay bit-identical to the PR-9 baseline.
+
+Six cells: {simulated, mmap, object} x {coalescing on, off}.  The
+``fetch_coalescing=False`` cells reproduce the PR-9 behaviour exactly
+(shard-lock serialized shared cache, one GET per charged range, no
+readahead), so the object/off cell is the baseline the >= 5x speedup
+is measured against.
+
+Asserted here:
+
+* accurate answers and charged random/sequential-read counters are
+  bit-identical across all six cells — coalescing and concurrency
+  change request accounting only, never what the engine charges;
+* the object/on cell issues <= 1/5 the GETs of object/off and accrues
+  <= 1/5 its modeled request latency;
+* reported (not asserted, they are workload-shaped): the single-flight
+  dedup ratio (coalesced waits per miss) and the mean GET width
+  (``get_blocks / gets``) that readahead buys.
+
+The table lands in ``BENCH_coldread.json``.
+"""
+
+import shutil
+import tempfile
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import numpy as np
+
+from conftest import run_once
+from common import show, write_bench
+from repro import EngineConfig, HybridQuantileEngine
+
+STEPS = 8
+BATCH = 20_000
+SEED = 1013
+KAPPA = 3
+SHARED_BLOCKS = 4096
+OBJECT_TIER_LEVEL = 1
+CLIENTS = 32
+#: 4 scattered phis per client — a cold accurate scatter over the
+#: whole distribution, so probes spray across every tiered run.
+PHIS = tuple(np.round(np.linspace(0.004, 0.996, 4 * CLIENTS), 5))
+BACKENDS = ("simulated", "mmap", "object")
+SPEEDUP_FLOOR = 5.0
+
+
+def build(backend, coalescing, directory):
+    config = EngineConfig(
+        epsilon=0.01,
+        kappa=KAPPA,
+        block_elems=100,
+        shared_cache_blocks=SHARED_BLOCKS,
+        storage_backend=backend,
+        storage_dir=str(directory) if backend != "simulated" else None,
+        object_tier_level=OBJECT_TIER_LEVEL,
+        fetch_coalescing=coalescing,
+    )
+    engine = HybridQuantileEngine(config=config)
+    rng = np.random.default_rng(SEED)
+    for _ in range(STEPS):
+        engine.stream_update_many(
+            rng.normal(5e5, 1e5, size=BATCH).astype(np.int64)
+        )
+        engine.end_time_step()
+    # Leave a live stream tail so queries exercise the HS ∪ SS union.
+    engine.stream_update_many(
+        rng.normal(5e5, 1e5, size=BATCH // 2).astype(np.int64)
+    )
+    return engine
+
+
+def request_seconds(device, delta):
+    """Modeled request latency of one stats delta (read side only)."""
+    model = getattr(device, "latency", None)
+    if model is None:
+        return 0.0
+    return (
+        delta.gets * model.seconds_per_get
+        + delta.get_blocks * model.seconds_per_get_block
+    )
+
+
+def run_cell(backend, coalescing, directory):
+    engine = build(backend, coalescing, directory)
+    try:
+        device = engine.disk.backend
+        counters = engine.disk.stats.counters
+        rr0, sr0 = counters.random_reads, counters.sequential_reads
+        before = device.stats()
+        epoch0 = engine.epoch_stats
+
+        # 32 clients, 4 scattered accurate quantiles each, all cold.
+        answers = [None] * len(PHIS)
+
+        def client(i):
+            for j in range(i, len(PHIS), CLIENTS):
+                answers[j] = engine.quantile(
+                    PHIS[j], mode="accurate"
+                ).value
+
+        with ThreadPoolExecutor(max_workers=CLIENTS) as pool:
+            list(pool.map(client, range(CLIENTS)))
+
+        delta = device.stats().delta_since(before)
+        epoch1 = engine.epoch_stats
+        engine.check_invariants()
+        misses = epoch1.cache_misses - epoch0.cache_misses
+        waits = (
+            epoch1.cache_coalesced_waits - epoch0.cache_coalesced_waits
+        )
+        return {
+            "backend": backend,
+            "coalescing": bool(coalescing),
+            "accurate": [int(v) for v in answers],
+            "random_reads": int(counters.random_reads - rr0),
+            "sequential_reads": int(counters.sequential_reads - sr0),
+            "gets": int(delta.gets),
+            "get_blocks": int(delta.get_blocks),
+            "get_width": (
+                round(delta.get_blocks / delta.gets, 2) if delta.gets else 0.0
+            ),
+            "coalesced_waits": int(waits),
+            "dedup_ratio": round(waits / misses, 3) if misses else 0.0,
+            "request_seconds": round(request_seconds(device, delta), 6),
+            "migrations": int(device.stats().migrations),
+            "object_runs": int(device.stats().object_runs),
+        }
+    finally:
+        engine.close()
+
+
+def sweep():
+    root = Path(tempfile.mkdtemp(prefix="repro-coldread-"))
+    try:
+        rows = [
+            run_cell(backend, coalescing, root / f"{backend}-{coalescing}")
+            for backend in BACKENDS
+            for coalescing in (True, False)
+        ]
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    return {
+        "benchmark": "coldread_ablation",
+        "meta": {
+            "steps": STEPS,
+            "batch": BATCH,
+            "seed": SEED,
+            "kappa": KAPPA,
+            "shared_cache_blocks": SHARED_BLOCKS,
+            "object_tier_level": OBJECT_TIER_LEVEL,
+            "clients": CLIENTS,
+            "queries": len(PHIS),
+            "speedup_floor": SPEEDUP_FLOOR,
+            "shards": 1,
+            "sketch_backend": "gk",
+            "storage_backend": "object",
+            "object_tier": True,
+            "backends_swept": list(BACKENDS),
+        },
+        "rows": rows,
+    }
+
+
+def test_ablation_coldread(benchmark):
+    doc = run_once(benchmark, sweep)
+    show(
+        "Ablation A14: cold-read fast path "
+        "(32-client cold accurate scatter)",
+        [
+            "backend", "coalesce", "random reads", "GETs", "GET blocks",
+            "width", "dedup", "req s",
+        ],
+        [
+            [
+                r["backend"], r["coalescing"], r["random_reads"],
+                r["gets"], r["get_blocks"], r["get_width"],
+                r["dedup_ratio"], r["request_seconds"],
+            ]
+            for r in doc["rows"]
+        ],
+    )
+    write_bench("coldread", doc)
+
+    rows = {
+        (row["backend"], row["coalescing"]): row for row in doc["rows"]
+    }
+    baseline = rows[("simulated", True)]
+
+    # The moat: answers and charged I/O are identical in every cell —
+    # across backends, and with coalescing on or off, despite 32
+    # clients racing on the shared cache.
+    for key, row in rows.items():
+        assert row["accurate"] == baseline["accurate"], key
+        assert row["random_reads"] == baseline["random_reads"], key
+        assert row["sequential_reads"] == baseline["sequential_reads"], key
+
+    # Request counters exist only on the object tier.
+    for backend in ("simulated", "mmap"):
+        for coalescing in (True, False):
+            row = rows[(backend, coalescing)]
+            assert row["gets"] == 0, (backend, coalescing)
+            assert row["request_seconds"] == 0.0, (backend, coalescing)
+
+    fast = rows[("object", True)]
+    slow = rows[("object", False)]
+    assert slow["gets"] > 0 and fast["gets"] > 0
+    assert fast["migrations"] > 0 and fast["object_runs"] > 0
+
+    # The tentpole: >= 5x fewer GETs and >= 5x less modeled request
+    # latency than the PR-9 baseline cell, for identical answers.
+    assert fast["gets"] * SPEEDUP_FLOOR <= slow["gets"], (
+        fast["gets"], slow["gets"]
+    )
+    assert (
+        fast["request_seconds"] * SPEEDUP_FLOOR <= slow["request_seconds"]
+    ), (fast["request_seconds"], slow["request_seconds"])
+
+    # Readahead is why: coalesced GETs are wide, baseline GETs narrow.
+    assert fast["get_width"] > slow["get_width"]

@@ -211,6 +211,16 @@ def _cmd_fsck(args: argparse.Namespace) -> int:
           f"{engine.steps_loaded} steps, "
           f"{engine.m_stream:,} buffered stream elements"
           + (" (repair mode)" if args.repair else ""))
+    # File-backed storage backends fsck at construction (staging
+    # orphans, and for the object tier a run duplicated across hot and
+    # bucket by a crash mid-migration); surface what they repaired.
+    report = getattr(engine.disk.backend, "fsck_report", None)
+    if report is not None:
+        if report:
+            for line in report:
+                print(f"storage fsck: {line}")
+        else:
+            print("storage fsck: clean")
     engine.close()
     if args.wal is not None:
         return _fsck_wal(args)

@@ -160,6 +160,34 @@ class EngineConfig:
         Modeled per-request round-trip latency of the emulated object
         store, in milliseconds, folded into
         ``SimulatedDisk.simulated_seconds``.
+    fetch_coalescing:
+        When ``True`` (default) cold reads take the fast path: the
+        shared cache dedupes concurrent misses on the same block into
+        one in-flight fetch (single-flight), and the object backend
+        keeps a fetched-block registry so a charged range only GETs
+        its not-yet-streamed sub-ranges, widened by readahead.
+        ``False`` reproduces the strict pre-coalescing accounting (one
+        request per charge event, shard-lock serialization) — the
+        baseline cell of the cold-read ablation.  Either way answers
+        and charged ``DiskStats`` blocks are bit-identical; only
+        request counts and modeled request latency differ.
+    readahead_blocks:
+        How many extra blocks each cold ranged GET streams past the
+        requested range (charge-neutral: streamed, never charged).
+        ``None`` (default) derives the break-even width from the
+        latency model — widen while the marginal per-block cost stays
+        below the amortized request setup cost,
+        ``seconds_per_get // seconds_per_get_block`` (50 blocks at the
+        default 5 ms GET / 0.1 ms-per-block).  ``0`` disables
+        readahead while keeping coalescing.
+    hot_tier_bytes:
+        Capacity bound on the object backend's hot file tier, in
+        bytes.  When allocation or promotion pushes the tier past the
+        budget, least-recently-read unpinned runs are demoted to the
+        bucket (atomic migration, counted in ``evicted_runs``).  Runs
+        referenced by a live ``SnapshotHandle`` are pinned and never
+        evicted — the tier may temporarily exceed the budget instead.
+        ``None`` (default) leaves the hot tier unbounded.
     """
 
     epsilon: float
@@ -191,6 +219,9 @@ class EngineConfig:
     object_tier_level: int = 1
     object_get_ms: float = 5.0
     object_put_ms: float = 10.0
+    fetch_coalescing: bool = True
+    readahead_blocks: Optional[int] = None
+    hot_tier_bytes: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not 0 < self.epsilon < 1:
@@ -242,6 +273,10 @@ class EngineConfig:
             raise ValueError("object_get_ms must be >= 0")
         if self.object_put_ms < 0:
             raise ValueError("object_put_ms must be >= 0")
+        if self.readahead_blocks is not None and self.readahead_blocks < 0:
+            raise ValueError("readahead_blocks must be >= 0")
+        if self.hot_tier_bytes is not None and self.hot_tier_bytes < 0:
+            raise ValueError("hot_tier_bytes must be >= 0")
 
     @property
     def epsilon1(self) -> float:
@@ -322,6 +357,9 @@ class EngineConfig:
                 seconds_per_get=self.object_get_ms / 1e3,
                 seconds_per_put=self.object_put_ms / 1e3,
             ),
+            readahead_blocks=self.readahead_blocks,
+            coalesce=self.fetch_coalescing,
+            hot_tier_bytes=self.hot_tier_bytes,
         )
 
 

@@ -249,7 +249,10 @@ class HybridQuantileEngine:
         # blocks means no tier: every query pays the paper's per-query
         # accounting exactly — the historical code path, bit for bit.
         self.shared_cache: Optional[SharedBlockCache] = (
-            SharedBlockCache(config.shared_cache_blocks)
+            SharedBlockCache(
+                config.shared_cache_blocks,
+                single_flight=config.fetch_coalescing,
+            )
             if config.shared_cache_blocks > 0
             else None
         )
@@ -809,15 +812,18 @@ class HybridQuantileEngine:
                 cache_evictions=cs.evictions,
                 cache_invalidations=cs.invalidated_blocks,
                 cache_resident_blocks=cs.resident_blocks,
+                cache_coalesced_waits=cs.coalesced_waits,
             )
         bs = self.disk.backend.stats()
-        if bs.gets or bs.get_blocks or bs.puts or bs.migrations:
+        if bs.gets or bs.get_blocks or bs.puts or bs.migrations or bs.evicted_runs:
             stats = replace(
                 stats,
                 object_gets=bs.gets,
                 object_get_blocks=bs.get_blocks,
                 object_puts=bs.puts,
                 object_migrations=bs.migrations,
+                object_evicted_runs=bs.evicted_runs,
+                object_hot_bytes=bs.hot_bytes,
             )
         return stats
 

@@ -82,12 +82,18 @@ class EpochStats:
     cache_evictions: int = 0
     cache_invalidations: int = 0
     cache_resident_blocks: int = 0
+    #: lookups that joined another query's in-flight fetch instead of
+    #: issuing their own (single-flight coalescing).
+    cache_coalesced_waits: int = 0
     #: storage-backend request counters, merged in by
     #: ``engine.epoch_stats`` (all zero on the simulated/mmap backends).
     object_gets: int = 0
     object_get_blocks: int = 0
     object_puts: int = 0
     object_migrations: int = 0
+    #: hot-tier capacity eviction counters of the object backend.
+    object_evicted_runs: int = 0
+    object_hot_bytes: int = 0
 
 
 class EpochRegistry:
@@ -211,6 +217,11 @@ class SnapshotHandle:
         self._combined: Optional[CombinedSummary] = None
         self._merges = 0
         self._released = False
+        # Eviction safety: a run referenced by a live handle is pinned
+        # in the storage backend, so the hot-tier LRU never demotes a
+        # run out from under this snapshot's probes.
+        self._pinned_run_ids = [p.run.run_id for p in partitions]
+        disk.backend.pin_runs(self._pinned_run_ids)
 
     # -- lifecycle ------------------------------------------------------
 
@@ -230,6 +241,7 @@ class SnapshotHandle:
         if not self._released:
             self._released = True
             self._registry.release(self.epoch)
+            self._disk.backend.unpin_runs(self._pinned_run_ids)
 
     def __enter__(self) -> "SnapshotHandle":
         return self

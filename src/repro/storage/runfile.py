@@ -60,6 +60,10 @@ class SortedRun:
         self._length = len(arr)
         self.run_id = next(_run_ids)
         self._handle = disk.backend.allocate_run(self.run_id, arr)
+        # Bind the disk's block geometry to the handle so backends can
+        # serve ranged block reads (and clamp readahead) without a
+        # back-reference to the disk.
+        self._handle.block_elems = disk.block_elems
         if charge_write:
             disk.charge_sequential_write(self._length)
 
@@ -94,25 +98,31 @@ class SortedRun:
 
     def min_value(self) -> int:
         """Smallest element (exact)."""
-        if not len(self._data):
+        if not self._length:
             raise ValueError("empty run has no minimum")
-        return int(self._data[0])
+        return int(self._handle.read_blocks(0, 0)[0])
 
     def max_value(self) -> int:
         """Largest element (exact)."""
-        if not len(self._data):
+        if not self._length:
             raise ValueError("empty run has no maximum")
-        return int(self._data[-1])
+        last_block = self._disk.block_of(self._length - 1)
+        payload = self._handle.read_blocks(last_block, last_block)
+        return int(payload[self._length - 1 - last_block * self._disk.block_elems])
 
     def element_at(self, index: int, cache: Optional[BlockCache] = None) -> int:
         """Return the element at ``index`` (0-based), charging one block.
 
         With a cache, re-reads of an already-charged block are free.
+        The read itself is block-ranged: only the probed block is
+        fetched from the backend, never the whole run.
         """
-        if not 0 <= index < len(self._data):
+        if not 0 <= index < self._length:
             raise IndexError(index)
-        self._charge_block(self._disk.block_of(index), cache)
-        return int(self._data[index])
+        block = self._disk.block_of(index)
+        self._charge_block(block, cache)
+        payload = self._handle.read_blocks(block, block)
+        return int(payload[index - block * self._disk.block_elems])
 
     def read_range(
         self,
@@ -122,7 +132,7 @@ class SortedRun:
     ) -> np.ndarray:
         """Read elements with indices in ``[lo, hi)``, charging block I/O."""
         lo = max(lo, 0)
-        hi = min(hi, len(self._data))
+        hi = min(hi, self._length)
         if lo >= hi:
             return np.empty(0, dtype=np.int64)
         first = self._disk.block_of(lo)
@@ -133,8 +143,10 @@ class SortedRun:
             charged = last - first + 1
             self._disk.charge_random_read(charged)
         if charged:
-            self._handle.note_random_read(1, charged)
-        return self._data[lo:hi].copy()
+            self._handle.note_range_read(first, last, charged)
+        payload = self._handle.read_blocks(first, last)
+        base = first * self._disk.block_elems
+        return np.array(payload[lo - base : hi - base], dtype=np.int64)
 
     def read_block_range(
         self,
@@ -167,10 +179,11 @@ class SortedRun:
             charged = last_block - first_block + 1
             self._disk.charge_random_read(charged)
         if charged:
-            self._handle.note_random_read(1, charged)
+            self._handle.note_range_read(first_block, last_block, charged)
         lo = first_block * self._disk.block_elems
         hi = min((last_block + 1) * self._disk.block_elems, self._length)
-        return self._data[lo:hi].copy()
+        payload = self._handle.read_blocks(first_block, last_block)
+        return np.array(payload[: hi - lo], dtype=np.int64)
 
     def rank_of(
         self,
@@ -186,15 +199,19 @@ class SortedRun:
         so the search costs ``O(log((hi - lo) / B))`` block reads.
         """
         if hi is None:
-            hi = len(self._data)
+            hi = self._length
         lo = max(lo, 0)
-        hi = min(hi, len(self._data))
+        hi = min(hi, self._length)
         # Classic binary search for the first index whose element
-        # exceeds ``value``; each probe touches one block.
+        # exceeds ``value``; each probe touches (and fetches) exactly
+        # one block — cold probes never materialize the whole run.
+        block_elems = self._disk.block_elems
         while lo < hi:
             mid = (lo + hi) // 2
-            self._charge_block(self._disk.block_of(mid), cache)
-            if self._data[mid] <= value:
+            block = self._disk.block_of(mid)
+            self._charge_block(block, cache)
+            payload = self._handle.read_blocks(block, block)
+            if int(payload[mid - block * block_elems]) <= value:
                 lo = mid + 1
             else:
                 hi = mid
@@ -217,4 +234,4 @@ class SortedRun:
             self._disk.charge_random_read(1)
             charged = 1
         if charged:
-            self._handle.note_random_read(1, charged)
+            self._handle.note_range_read(block, block, charged)

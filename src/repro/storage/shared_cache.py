@@ -27,14 +27,26 @@ Design notes
   scans (residual range fetches) therefore wash through probation
   without evicting the hot upper index blocks that every binary search
   touches.
-* **Per-run sharded locks.**  Each run has its own shard lock that
-  serializes the check-miss-charge-insert sequence for that run, so a
-  resident block is charged exactly once no matter how many queries
-  race for it — which is what keeps *aggregate* charge counts
-  deterministic under a fixed seed (per-query attribution of a charge
-  may move between racing queries; the total cannot).  Bookkeeping
-  (queues, membership, stats) lives under one small structure lock;
-  the lock order is always shard -> structure, never the reverse.
+* **Single-flight fetch coalescing (default).**  Concurrent queries
+  missing on the same block dedupe into one in-flight fetch: the
+  first racer claims the block in a flight registry (under the
+  structure lock), charges it, and resolves the flight; everyone else
+  waits on the flight and counts a coalesced hit.  Each block is
+  still charged exactly once — identical aggregate accounting to the
+  serialized mode below — but the backend sees one request per
+  distinct range instead of one per racing client, and waiters never
+  serialize behind the charging thread's backend latency.  A failed
+  fetch delivers its exception to every waiter and leaves the blocks
+  non-resident (nothing is poisoned; the next probe retries).
+* **Per-run sharded locks (``single_flight=False``).**  Each run has
+  its own shard lock that serializes the check-miss-charge-insert
+  sequence for that run, so a resident block is charged exactly once
+  no matter how many queries race for it — which is what keeps
+  *aggregate* charge counts deterministic under a fixed seed
+  (per-query attribution of a charge may move between racing queries;
+  the total cannot).  Bookkeeping (queues, membership, stats) lives
+  under one small structure lock; the lock order is always shard ->
+  structure, never the reverse.
 * **Epoch-aware invalidation.**  Compaction merges and background
   adoptions retire runs inside the layout-lock critical sections that
   bump the :class:`~repro.core.epoch.EpochRegistry`; the store's
@@ -78,6 +90,11 @@ class SharedCacheStats:
     invalidated_runs: int
     #: blocks inserted by explicit prefetch/warm range reads.
     prefetched_blocks: int
+    #: lookups that joined another query's in-flight fetch instead of
+    #: issuing their own (single-flight coalescing).  Each coalesced
+    #: wait is a backend request saved; ``coalesced_waits / misses`` is
+    #: the dedup ratio the cold-read ablation reports.
+    coalesced_waits: int = 0
 
     @property
     def lookups(self) -> int:
@@ -101,6 +118,23 @@ class _Shard:
         self.retired = False
 
 
+class _Flight:
+    """One in-flight fetch of a (run, block) pair (single-flight mode).
+
+    The claiming thread charges the fetch, then resolves the flight;
+    every other thread that raced on the block waits on ``done`` and
+    shares the outcome.  ``error`` carries a failed fetch's exception
+    to all waiters — the block stays non-resident, so the next probe
+    retries instead of reading poisoned state.
+    """
+
+    __slots__ = ("done", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.error: "BaseException | None" = None
+
+
 class SharedBlockCache:
     """Capacity-bounded cross-query cache of (run, block) residency.
 
@@ -111,12 +145,23 @@ class SharedBlockCache:
         tier only when ``EngineConfig.shared_cache_blocks > 0``; zero
         means "no shared tier", which reproduces the historical
         per-query accounting exactly.
+    single_flight:
+        When ``True`` (default), concurrent queries missing on the
+        same block coalesce into one in-flight fetch: the first racer
+        claims and charges the block, everyone else waits on the
+        flight and counts a (coalesced) hit.  Aggregate charge totals
+        are identical to the shard-lock serialization of
+        ``single_flight=False`` — each block is charged exactly once
+        either way — but waiters no longer serialize behind the
+        charging thread's backend request, and the backend sees one
+        request per distinct range instead of one per racer.
     """
 
-    def __init__(self, capacity_blocks: int) -> None:
+    def __init__(self, capacity_blocks: int, single_flight: bool = True) -> None:
         if capacity_blocks < 1:
             raise ValueError("capacity_blocks must be >= 1")
         self.capacity_blocks = capacity_blocks
+        self.single_flight = single_flight
         self._probation_target = max(1, capacity_blocks // 4)
         # (run_id, block) -> None, in arrival / recency order.
         self._probation: "OrderedDict[Tuple[int, int], None]" = OrderedDict()
@@ -126,6 +171,7 @@ class SharedBlockCache:
         self._shards: Dict[int, _Shard] = {}
         self._shards_guard = threading.Lock()
         self._lock = threading.Lock()  # queues + membership + stats
+        self._flights: "Dict[Tuple[int, int], _Flight]" = {}
         self._followers: "weakref.WeakSet" = weakref.WeakSet()
         self._hits = 0
         self._misses = 0
@@ -133,6 +179,7 @@ class SharedBlockCache:
         self._invalidated_blocks = 0
         self._invalidated_runs = 0
         self._prefetched_blocks = 0
+        self._coalesced_waits = 0
 
     # ------------------------------------------------------------------
     # Shards
@@ -193,12 +240,16 @@ class SharedBlockCache:
         """Look up one block; charge the disk on a miss.
 
         Returns ``True`` on a hit (no charge).  On a miss, ``charge(1)``
-        runs *inside* the run's shard lock and before the block is
-        recorded resident, so an injected :class:`~repro.faults.errors.
-        DiskFault` leaves the block non-resident (a failed read must not
-        look cached) and a resident block can never have been charged
-        twice by racing queries.
+        runs before the block is recorded resident, so an injected
+        :class:`~repro.faults.errors.DiskFault` leaves the block
+        non-resident (a failed read must not look cached) and a
+        resident block can never have been charged twice by racing
+        queries (shard-lock serialization or single-flight claiming,
+        depending on mode).
         """
+        if self.single_flight:
+            hits, _misses = self.fetch_range(run_id, block, block, charge)
+            return hits > 0
         key = (run_id, block)
         shard = self._shard(run_id)
         with shard.lock:
@@ -229,7 +280,18 @@ class SharedBlockCache:
         charged in a **single** ``charge(n)`` call (one ranged random
         read per partition, the satellite accounting requirement) and
         become resident together; blocks already resident are promoted.
+
+        In single-flight mode blocks already being fetched by another
+        thread are *joined* rather than re-charged: the caller waits
+        for the owning fetch to resolve and counts them as hits (they
+        are, in aggregate — the old shard-lock path would have blocked
+        on the lock and then hit).  A failed fetch propagates its
+        exception to every waiter and leaves the blocks non-resident.
         """
+        if self.single_flight:
+            return self._fetch_range_single_flight(
+                run_id, first_block, last_block, charge, prefetch
+            )
         shard = self._shard(run_id)
         with shard.lock:
             with self._lock:
@@ -254,6 +316,83 @@ class SharedBlockCache:
                         for block in missing:
                             self._insert((run_id, block))
             return hits, len(missing)
+
+    def _fetch_range_single_flight(
+        self,
+        run_id: int,
+        first_block: int,
+        last_block: int,
+        charge: Callable[[int], None],
+        prefetch: bool,
+    ) -> Tuple[int, int]:
+        """Range lookup with in-flight fetch coalescing.
+
+        Deadlock-free by construction: a thread always resolves the
+        flights it claimed *before* waiting on anyone else's, so every
+        flight is resolved by an owner that never waits on it
+        transitively.  Blocks of retired runs bypass the registry
+        entirely (charged per caller, never inserted) — exactly the
+        old semantics, where retired blocks are never resident.
+        """
+        hits = 0
+        mine: List[int] = []
+        theirs: List[_Flight] = []
+        with self._lock:
+            retired = run_id in self._retired_runs
+            for block in range(first_block, last_block + 1):
+                key = (run_id, block)
+                if self._resident(key):
+                    self._promote(key)
+                    hits += 1
+                    continue
+                flight = self._flights.get(key) if not retired else None
+                if flight is not None:
+                    theirs.append(flight)
+                else:
+                    if not retired:
+                        self._flights[key] = _Flight()
+                    mine.append(block)
+            self._hits += hits
+        if mine:
+            try:
+                charge(len(mine))
+            except BaseException as exc:
+                with self._lock:
+                    for block in mine:
+                        flight = self._flights.pop((run_id, block), None)
+                        if flight is not None:
+                            flight.error = exc
+                            flight.done.set()
+                raise
+            with self._lock:
+                self._misses += len(mine)
+                if prefetch:
+                    self._prefetched_blocks += len(mine)
+                # Re-check retirement at insert time: the run may have
+                # retired while the fetch was in flight, and residency
+                # must never outlive the run it describes.
+                still_live = run_id not in self._retired_runs
+                for block in mine:
+                    if still_live:
+                        self._insert((run_id, block))
+                    flight = self._flights.pop((run_id, block), None)
+                    if flight is not None:
+                        flight.error = None
+                        flight.done.set()
+        if theirs:
+            error: "BaseException | None" = None
+            for flight in theirs:
+                flight.done.wait()
+                if flight.error is not None and error is None:
+                    error = flight.error
+            with self._lock:
+                self._coalesced_waits += len(theirs)
+                if error is None:
+                    self._hits += len(theirs)
+            if error is not None:
+                raise error
+            hits += len(theirs)
+        return hits, len(mine)
 
     def contains(self, run_id: int, block: int) -> bool:
         """Whether a block is currently resident (introspection only)."""
@@ -341,6 +480,7 @@ class SharedBlockCache:
                 invalidated_blocks=self._invalidated_blocks,
                 invalidated_runs=self._invalidated_runs,
                 prefetched_blocks=self._prefetched_blocks,
+                coalesced_waits=self._coalesced_waits,
             )
 
     def clear(self) -> None:

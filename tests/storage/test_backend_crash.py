@@ -170,6 +170,36 @@ class TestObjectBackendCrash:
         assert recovered.stats().object_runs == 1
         recovered.close()
 
+    def test_migration_crash_after_put_leaves_dual_copy_fsck_repairs(
+        self, tmp_path
+    ):
+        """Crash between the bucket PUT and the hot unlink.
+
+        The rename committed the PUT, so the run exists in BOTH tiers.
+        fsck must keep exactly one authoritative copy — the bucket one
+        (the migration had committed) — and report the repair.
+        """
+        data = np.arange(24, dtype=np.int64)
+        backend = ObjectStoreBackend(tmp_path / "o", object_tier_level=1)
+        backend.allocate_run(1, data)
+        fsutil.crash_hook = CrashAt("renamed")
+        with pytest.raises(SimulatedCrash):
+            backend.place_run(1, level=1)
+        fsutil.crash_hook = None
+        backend.close()
+        # The crash window left the run in both tiers.
+        assert (tmp_path / "o" / "hot" / "run-1.npy").exists()
+        assert (tmp_path / "o" / "objects" / "run-1.npy").exists()
+
+        recovered = ObjectStoreBackend(tmp_path / "o", object_tier_level=1)
+        assert not (tmp_path / "o" / "hot" / "run-1.npy").exists()
+        assert (tmp_path / "o" / "objects" / "run-1.npy").exists()
+        assert any("duplicate" in line for line in recovered.fsck_report)
+        assert recovered.stats().object_runs == 1
+        np.testing.assert_array_equal(np.load(recovered._path_of(1)), data)
+        assert recovered.fsck() == []  # idempotent
+        recovered.close()
+
 
 class TestPlannedCrashes:
     """FaultPlan-driven sweep: the crash point at each write is a pure

@@ -162,8 +162,10 @@ class TestTiering:
 
 
 class TestRequestAccounting:
-    def _charged_run(self, tmp_path, block_elems=4):
-        backend = ObjectStoreBackend(tmp_path / "o", object_tier_level=1)
+    def _charged_run(self, tmp_path, block_elems=4, **backend_kwargs):
+        backend = ObjectStoreBackend(
+            tmp_path / "o", object_tier_level=1, **backend_kwargs
+        )
         disk = SimulatedDisk(block_elems=block_elems, backend=backend)
         run = SortedRun(disk, np.arange(40, dtype=np.int64))
         return backend, disk, run
@@ -175,12 +177,44 @@ class TestRequestAccounting:
         backend.close()
 
     def test_cold_charged_read_is_one_get(self, tmp_path):
-        backend, disk, run = self._charged_run(tmp_path)
+        # coalesce=False reproduces the strict pre-coalescing
+        # accounting: one GET streaming exactly the charged block.
+        backend, disk, run = self._charged_run(tmp_path, coalesce=False)
         backend.place_run(run.run_id, level=1)
         run.element_at(5)
         stats = backend.stats()
         assert stats.gets == 1
         assert stats.get_blocks == 1
+        backend.close()
+
+    def test_coalesced_cold_probe_streams_readahead(self, tmp_path):
+        # Default mode: the first cold probe issues one GET widened by
+        # readahead (clamped to the run's last block, 9 here); probes
+        # landing inside the fetched span issue no further requests.
+        backend, disk, run = self._charged_run(tmp_path)
+        backend.place_run(run.run_id, level=1)
+        run.element_at(5)  # block 1 of 0..9
+        stats = backend.stats()
+        assert stats.gets == 1
+        assert stats.get_blocks == 9  # blocks 1..9
+        run.element_at(39)  # block 9: already streamed
+        assert backend.stats().gets == 1
+        run.element_at(0)  # block 0 was never fetched
+        assert backend.stats().gets == 2
+        backend.close()
+
+    def test_readahead_zero_coalesces_without_widening(self, tmp_path):
+        backend, disk, run = self._charged_run(tmp_path, readahead_blocks=0)
+        backend.place_run(run.run_id, level=1)
+        run.element_at(13)  # block 3
+        run.element_at(21)  # block 5
+        assert backend.stats().get_blocks == 2
+        # blocks 3 and 5 already fetched: range 2..6 needs 2, 4, 6 —
+        # three disjoint single-block spans.
+        run.read_block_range(2, 6)
+        stats = backend.stats()
+        assert stats.gets == 5
+        assert stats.get_blocks == 5
         backend.close()
 
     def test_cache_hit_never_becomes_a_get(self, tmp_path):
@@ -193,12 +227,24 @@ class TestRequestAccounting:
         assert backend.stats().gets == before
 
     def test_ranged_read_is_one_get_many_blocks(self, tmp_path):
-        backend, disk, run = self._charged_run(tmp_path)
+        backend, disk, run = self._charged_run(tmp_path, coalesce=False)
         backend.place_run(run.run_id, level=1)
         run.read_block_range(0, 4)
         stats = backend.stats()
         assert stats.gets == 1
         assert stats.get_blocks == 5
+        backend.close()
+
+    def test_ranged_reads_return_partial_bytes(self, tmp_path):
+        # A cold ranged read must return exactly the requested slice
+        # (served as a byte-range read of the bucket object), and it
+        # must match what the hot tier serves for the same range.
+        backend, disk, run = self._charged_run(tmp_path)
+        hot = run.read_block_range(2, 4)
+        backend.place_run(run.run_id, level=1)
+        cold = run.read_block_range(2, 4)
+        np.testing.assert_array_equal(cold, hot)
+        np.testing.assert_array_equal(cold, np.arange(8, 20, dtype=np.int64))
         backend.close()
 
     def test_sequential_scan_is_one_get(self, tmp_path):
@@ -237,6 +283,45 @@ class TestRequestAccounting:
         assert delta.get_blocks == 4
         assert delta.puts == 2
         assert delta.hot_runs == 2  # residency is a level, not a counter
+
+    def test_delta_since_counters_vs_gauges(self):
+        # Counters (monotonic totals) are subtracted; gauges (current
+        # levels) are copied verbatim from the newer snapshot.  An
+        # ablation writer that subtracted a gauge would report garbage.
+        before = BackendStats(
+            gets=10,
+            get_blocks=100,
+            puts=4,
+            lists=1,
+            migrations=3,
+            evicted_runs=2,
+            hot_runs=6,
+            object_runs=3,
+            hot_bytes=4096,
+        )
+        after = BackendStats(
+            gets=15,
+            get_blocks=180,
+            puts=6,
+            lists=1,
+            migrations=5,
+            evicted_runs=4,
+            hot_runs=2,
+            object_runs=7,
+            hot_bytes=1024,
+        )
+        delta = after.delta_since(before)
+        # counters: deltas
+        assert delta.gets == 5
+        assert delta.get_blocks == 80
+        assert delta.puts == 2
+        assert delta.lists == 0
+        assert delta.migrations == 2
+        assert delta.evicted_runs == 2
+        # gauges: copied, never subtracted
+        assert delta.hot_runs == 2
+        assert delta.object_runs == 7
+        assert delta.hot_bytes == 1024
 
 
 class TestEngineEquivalence:

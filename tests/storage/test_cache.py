@@ -43,6 +43,62 @@ class TestBlockCache:
         cache.touch_range(1, 4, 6)  # 4, 5 already cached
         assert disk.stats.counters.random_reads == 5
 
+    def test_touch_range_partial_hits_charge_only_misses(self):
+        # Blocks 3 and 5 cached; requesting 2..6 must charge exactly
+        # the holes (2, 4, 6), never the resident blocks.
+        disk = SimulatedDisk()
+        cache = BlockCache(disk)
+        cache.touch(1, 3)
+        cache.touch(1, 5)
+        assert disk.stats.counters.random_reads == 2
+        charged = cache.touch_range(1, 2, 6)
+        assert charged == 3
+        assert disk.stats.counters.random_reads == 5
+        # The whole range is now resident: a re-request is free.
+        assert cache.touch_range(1, 2, 6) == 0
+        assert disk.stats.counters.random_reads == 5
+
+    def test_touch_range_partial_hits_through_shared_tier(self):
+        # Same shape with a shared tier behind the per-query cache:
+        # the holes reach the shared cache as one ranged read per
+        # contiguous unseen sub-range (three singleton ranges here),
+        # and the charged block count still excludes the hits.
+        from repro.storage import SharedBlockCache
+
+        disk = SimulatedDisk()
+        shared = SharedBlockCache(64)
+        cache = BlockCache(disk, shared=shared)
+        cache.touch(1, 3)
+        cache.touch(1, 5)
+        calls = []
+        original = disk.charge_random_read
+
+        def spying_charge(blocks):
+            calls.append(blocks)
+            original(blocks)
+
+        disk.charge_random_read = spying_charge
+        charged = cache.touch_range(1, 2, 6)
+        assert charged == 3
+        assert disk.stats.counters.random_reads == 5
+        # Three disjoint holes -> three ranged reads of one block each.
+        assert calls == [1, 1, 1]
+
+    def test_touch_range_shared_residency_is_free_for_new_query(self):
+        # A second query's fresh BlockCache finds the shared tier
+        # already resident: shared hits, zero new charges.
+        from repro.storage import SharedBlockCache
+
+        disk = SimulatedDisk()
+        shared = SharedBlockCache(64)
+        first = BlockCache(disk, shared=shared)
+        first.touch_range(1, 2, 6)
+        assert disk.stats.counters.random_reads == 5
+        second = BlockCache(disk, shared=shared)
+        assert second.touch_range(1, 2, 6) == 0
+        assert second.shared_hits == 5
+        assert disk.stats.counters.random_reads == 5
+
 
 class TestBlockCacheConcurrency:
     """Counter updates are atomic: no charge is lost or duplicated."""

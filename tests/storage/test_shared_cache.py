@@ -130,7 +130,10 @@ class TestInvalidation:
         assert calls["blocks"] == 3
 
     def test_shard_map_is_pruned(self):
-        cache = SharedBlockCache(16)
+        # Per-run shard locks are only allocated by the serialized
+        # (single_flight=False) path; either way invalidation must
+        # prune the map so it cannot grow without bound.
+        cache = SharedBlockCache(16, single_flight=False)
         charge, _ = charge_counter()
         for run_id in range(10):
             cache.fetch_block(run_id, 0, charge)
